@@ -1,0 +1,30 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.1: a few seconds for the full SQL suite).  Scale 1.0 matches
+EXPERIMENTS.md's recorded numbers.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiment import run_sql_suite
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def sql_suite():
+    """One full Q1-Q13 x 4-systems run shared by Figures 18-21."""
+    return run_sql_suite(scale=BENCH_SCALE, verify=True)
+
+
+def show(figure_result):
+    """Print a regenerated figure (visible with pytest -s or on failure)."""
+    print()
+    print(figure_result.render())

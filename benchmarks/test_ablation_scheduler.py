@@ -1,0 +1,44 @@
+"""Ablation: FR-FCFS vs plain FCFS scheduling.
+
+The paper adopts FR-FCFS (Table 1).  This ablation shows why: on a
+bank-conflict-heavy mixed stream, preferring open-buffer hits recovers
+row/column-buffer locality that strict arrival order destroys.
+"""
+
+from conftest import bench_scale
+from repro.geometry import RCNVM_GEOMETRY
+from repro.harness.systems import TABLE1_CACHE_CONFIG
+from repro.memsim.system import make_rcnvm
+from repro.workloads.queries import QUERIES
+from repro.workloads.suite import build_benchmark_database
+
+
+def run_policy(policy):
+    memory = make_rcnvm(RCNVM_GEOMETRY, policy=policy)
+    db = build_benchmark_database(
+        memory, scale=bench_scale(), cache_config=TABLE1_CACHE_CONFIG
+    )
+    total = 0
+    hits = 0
+    accesses = 0
+    for qid in ("Q1", "Q2", "Q8", "Q10"):
+        spec = QUERIES[qid]
+        outcome = db.execute(spec.sql, params=spec.params)
+        total += outcome.cycles
+        hits += outcome.timing.memory["buffer_hits"]
+        accesses += outcome.timing.memory["accesses"]
+    return total, hits / max(1, accesses)
+
+
+def test_ablation_scheduler(benchmark):
+    frfcfs_cycles, frfcfs_hit_rate = benchmark.pedantic(
+        lambda: run_policy("frfcfs"), rounds=1, iterations=1
+    )
+    fcfs_cycles, fcfs_hit_rate = run_policy("fcfs")
+    print(
+        f"\nFR-FCFS: {frfcfs_cycles:,} cycles ({frfcfs_hit_rate:.1%} buffer hits) | "
+        f"FCFS: {fcfs_cycles:,} cycles ({fcfs_hit_rate:.1%} buffer hits)"
+    )
+    # FR-FCFS never loses, and buffer hit rate does not degrade.
+    assert frfcfs_cycles <= fcfs_cycles * 1.02
+    assert frfcfs_hit_rate >= fcfs_hit_rate - 0.01

@@ -1,0 +1,41 @@
+"""Ablation: core memory-level parallelism (outstanding-miss window).
+
+The machine model lets a core keep N misses in flight.  Scans are
+bandwidth-bound, so cycles should fall steeply from a blocking core
+(window 1) and saturate once the window covers the bank/bus pipeline.
+"""
+
+from conftest import bench_scale
+from repro.harness.systems import TABLE1_CACHE_CONFIG
+from repro.workloads.queries import QUERIES
+from repro.workloads.suite import build_benchmark_database
+from repro.harness.systems import build_system
+
+WINDOWS = (1, 2, 4, 8, 16)
+
+
+def run_windows():
+    results = {}
+    for window in WINDOWS:
+        db = build_benchmark_database(
+            build_system("RC-NVM"),
+            scale=bench_scale(),
+            cache_config=TABLE1_CACHE_CONFIG,
+        )
+        db.window = window
+        spec = QUERIES["Q4"]
+        outcome = db.execute(spec.sql, params=spec.params)
+        results[window] = outcome.cycles
+    return results
+
+
+def test_ablation_window(benchmark):
+    results = benchmark.pedantic(run_windows, rounds=1, iterations=1)
+    print("\nwindow -> cycles:", {w: f"{c:,}" for w, c in results.items()})
+    cycles = [results[w] for w in WINDOWS]
+    # Monotone non-increasing (more MLP never hurts)...
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+    # ...with a real win from 1 to 8 outstanding misses.
+    assert results[1] > 1.3 * results[8]
+    # ...and diminishing returns past the pipeline depth.
+    assert results[8] <= results[16] * 1.2

@@ -1,0 +1,25 @@
+"""Figure 4: area overhead of RC-DRAM vs RC-NVM over array size.
+
+Paper's series: RC-DRAM always above 200% and growing with the number of
+word/bit lines; RC-NVM decaying below 20% at N = 512.
+"""
+
+from conftest import show
+from repro.harness import figures
+
+
+def test_fig04_area_overhead(benchmark):
+    result = benchmark(figures.figure4)
+    show(result)
+    sizes = result.column("WL&BL")
+    rc_dram = result.column("RC-DRAM over DRAM")
+    rc_nvm = result.column("RC-NVM over RRAM")
+    assert sizes == [16, 32, 64, 128, 256, 512, 1024]
+    # RC-DRAM: > 200% everywhere, monotonically growing.
+    assert all(v > 2.0 for v in rc_dram)
+    assert rc_dram == sorted(rc_dram)
+    # RC-NVM: monotonically decaying, < 20% at 512.
+    assert rc_nvm == sorted(rc_nvm, reverse=True)
+    assert rc_nvm[sizes.index(512)] < 0.20
+    # The paper's headline: ~15% at the design point.
+    assert abs(rc_nvm[sizes.index(512)] - 0.15) < 0.02

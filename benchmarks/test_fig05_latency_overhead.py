@@ -1,0 +1,15 @@
+"""Figure 5: RC-NVM latency overhead over array size (~15% at N = 512)."""
+
+from conftest import show
+from repro.harness import figures
+
+
+def test_fig05_latency_overhead(benchmark):
+    result = benchmark(figures.figure5)
+    show(result)
+    sizes = result.column("WL&BL")
+    overheads = result.column("Latency overhead")
+    assert overheads == sorted(overheads)  # grows with wire length
+    assert abs(overheads[sizes.index(512)] - 0.15) < 0.01
+    assert overheads[0] < 0.05  # moderate for small arrays
+    assert overheads[-1] < 1.0  # stays under 100% on the plotted range

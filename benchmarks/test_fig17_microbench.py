@@ -1,0 +1,38 @@
+"""Figure 17: micro-benchmarks (row/col x read/write x layout x system).
+
+Paper's shape: DRAM wins row-direction scans (RRAM ~35% slower, RC-NVM a
+hair behind RRAM); RC-NVM wins column-direction scans by a wide margin,
+best in the column-oriented layout (L2).
+"""
+
+from conftest import bench_scale, show
+from repro.harness import figures
+
+# The table must dwarf the (scaled) cache stack; see FIGURE17_CACHE_CONFIG.
+N_TUPLES = max(2048, int(8192 * bench_scale()))
+
+
+def run_fig17():
+    return figures.figure17(n_tuples=N_TUPLES)
+
+
+def test_fig17_microbench(benchmark):
+    result = benchmark.pedantic(run_fig17, rounds=1, iterations=1)
+    show(result)
+    cycles = {row[0]: dict(zip(result.headers[1:], row[1:])) for row in result.rows}
+
+    # Row-direction sequential scans: DRAM fastest.
+    assert cycles["row-read-L1"]["DRAM"] < cycles["row-read-L1"]["RRAM"]
+    assert cycles["row-read-L1"]["DRAM"] < cycles["row-read-L1"]["RC-NVM"]
+    # RC-NVM tracks RRAM closely on row accesses (coherence overhead only).
+    assert cycles["row-read-L1"]["RC-NVM"] <= 1.25 * cycles["row-read-L1"]["RRAM"]
+
+    # Column-direction scans: RC-NVM far ahead of both conventional
+    # systems in either layout.
+    for kernel in ("col-read-L1", "col-read-L2", "col-write-L2"):
+        assert cycles[kernel]["RC-NVM"] * 2 < cycles[kernel]["DRAM"], kernel
+        assert cycles[kernel]["RC-NVM"] * 2 < cycles[kernel]["RRAM"], kernel
+
+    # The column-oriented layout (L2) is RC-NVM's best case for column
+    # scans — the reason the paper adopts it as the default.
+    assert cycles["col-read-L2"]["RC-NVM"] <= cycles["col-read-L1"]["RC-NVM"]

@@ -1,0 +1,27 @@
+"""Figure 19: number of memory accesses (LLC misses) per query.
+
+Paper's shape: RC-NVM needs far fewer memory requests than DRAM (less
+than a third on average); GS-DRAM reduces requests only for gatherable
+(table-a) queries.
+"""
+
+from conftest import show
+from repro.harness import figures
+
+
+def test_fig19_llc_misses(benchmark, sql_suite):
+    result = benchmark(lambda: figures.figure19(sql_suite))
+    show(result)
+    misses = {row[0]: dict(zip(result.headers[1:], row[1:])) for row in result.rows}
+
+    ratios = [
+        misses[q]["RC-NVM"] / misses[q]["DRAM"] for q in misses if q != "Q3"
+    ]
+    assert sum(ratios) / len(ratios) < 1 / 3
+    # RRAM has no column access: identical request counts to DRAM
+    # wherever the planner's strategy is the same scan shape.
+    for qid in ("Q4", "Q5", "Q6", "Q7"):
+        assert misses[qid]["RRAM"] == misses[qid]["DRAM"], qid
+    # GS-DRAM reduces accesses on table-a aggregates, not table-b ones.
+    assert misses["Q4"]["GS-DRAM"] < misses["Q4"]["DRAM"]
+    assert misses["Q5"]["GS-DRAM"] == misses["Q5"]["DRAM"]

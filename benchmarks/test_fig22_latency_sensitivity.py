@@ -1,0 +1,32 @@
+"""Figure 22: sensitivity to the NVM cell's read/write latency.
+
+Paper's claim: "using RC-NVM can still outperform DRAM even when the
+read and write latency are in the level of several hundreds of cycles";
+RRAM (row-only) stays behind DRAM throughout.
+"""
+
+from conftest import bench_scale, show
+from repro.harness import figures
+
+
+def run_fig22():
+    return figures.figure22(scale=bench_scale())
+
+
+def test_fig22_latency_sensitivity(benchmark):
+    result = benchmark.pedantic(run_fig22, rounds=1, iterations=1)
+    show(result)
+    reads = result.column("read ns")
+    rcnvm = result.column("RC-NVM")
+    rram = result.column("RRAM")
+    dram = result.column("DRAM")
+    assert reads == [12.5, 25.0, 50.0, 100.0, 200.0]
+    # DRAM is the constant reference line.
+    assert len(set(dram)) == 1
+    # Both NVM curves grow with the cell latency.
+    assert rcnvm == sorted(rcnvm)
+    assert rram == sorted(rram)
+    # RC-NVM stays below DRAM across the whole sweep; plain RRAM never
+    # catches DRAM.
+    assert all(v < dram[0] for v in rcnvm)
+    assert all(v > dram[0] for v in rram)

@@ -1,0 +1,28 @@
+"""Figure 23: impact of group caching on Q14 (wide field) and Q15
+(Z-order multi-field projection).
+
+Paper's shape: any group caching beats the naive interleaved column
+accesses, and larger groups trend better (~15% at 128 lines in the
+paper's configuration).
+"""
+
+from conftest import bench_scale, show
+from repro.harness import figures
+
+GROUP_SIZES = (0, 32, 64, 96, 128)
+
+
+def run_fig23():
+    return figures.figure23(scale=bench_scale(), group_sizes=GROUP_SIZES)
+
+
+def test_fig23_group_caching(benchmark):
+    result = benchmark.pedantic(run_fig23, rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        qid, naive, *grouped = row
+        # Group caching always beats the un-prefetched baseline.
+        assert all(cycles < naive for cycles in grouped), qid
+        # The largest group is at least as good as the smallest (modulo
+        # simulation noise at small scales).
+        assert grouped[-1] <= grouped[0] * 1.10, qid

@@ -1,0 +1,24 @@
+"""Table 1: configuration of simulated systems."""
+
+from conftest import show
+from repro.harness import figures
+
+
+def test_table1_config(benchmark):
+    result = benchmark(figures.table1)
+    show(result)
+    components = [row[0] for row in result.rows]
+    assert components == [
+        "Processor",
+        "L1 cache",
+        "L2 cache",
+        "L3 cache",
+        "Memory controller",
+        "DRAM",
+        "RRAM",
+        "RC-NVM",
+    ]
+    config = dict(result.rows)
+    assert "FR-FCFS" in config["Memory controller"]
+    assert "4 GB" in config["DRAM"] and "4 GB" in config["RC-NVM"]
+    assert "column buffer" in config["RC-NVM"]

@@ -1,0 +1,16 @@
+"""Table 2: the benchmark query set."""
+
+from conftest import show
+from repro.harness import figures
+from repro.imdb.sql_parser import parse
+
+
+def test_table2_queries(benchmark):
+    result = benchmark(figures.table2)
+    show(result)
+    assert [row[0] for row in result.rows] == [f"Q{i}" for i in range(1, 16)]
+    for _qid, _category, sql, _note in result.rows:
+        parse(sql)  # every row is valid SQL in our subset
+    categories = {row[0]: row[1] for row in result.rows}
+    assert categories["Q4"] == "OLAP" and categories["Q1"] == "OLTP"
+    assert categories["Q14"] == categories["Q15"] == "group-caching"

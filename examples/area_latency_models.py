@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Circuit-level models (paper Section 3, Figures 4-5).
+
+Prints the RC-DRAM vs RC-NVM area-overhead sweep, the RC-NVM latency
+overhead sweep, and shows how the Figure 5 overhead at the paper's
+design point (four 512x512 mats per subarray) derives RC-NVM's Table 1
+timing from the plain RRAM timing.
+
+Run:  python examples/area_latency_models.py
+"""
+
+from repro.core import circuit
+from repro.harness.figures import figure4, figure5
+from repro.memsim.timing import LPDDR3_800_RCNVM, LPDDR3_800_RRAM
+
+
+def main():
+    print(figure4().render())
+    print()
+    print(figure5().render())
+
+    n = 512
+    breakdown = circuit.rc_nvm_area(n)
+    print(f"\nRC-NVM {n}x{n} array breakdown (F^2 units):")
+    print(f"  cell array       {breakdown.cell_array:>12,.0f}")
+    print(f"  base periphery   {breakdown.periphery:>12,.0f}")
+    print(f"  RC extras        {breakdown.extra_periphery:>12,.0f}")
+    print(f"  => overhead      {breakdown.overhead:.1%}")
+
+    derived = circuit.scale_timing_for_array(LPDDR3_800_RRAM, n)
+    print(f"\nDeriving RC-NVM timing from RRAM via the Figure 5 model (N={n}):")
+    print(f"  RRAM    : tRCD {LPDDR3_800_RRAM.t_rcd:>2d}  "
+          f"write pulse {LPDDR3_800_RRAM.write_pulse} cycles")
+    print(f"  derived : tRCD {derived.t_rcd:>2d}  "
+          f"write pulse {derived.write_pulse} cycles")
+    print(f"  Table 1 : tRCD {LPDDR3_800_RCNVM.t_rcd:>2d}  "
+          f"write pulse {LPDDR3_800_RCNVM.write_pulse} cycles")
+
+
+if __name__ == "__main__":
+    main()

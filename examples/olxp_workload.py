@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""OLXP: mixed OLTP + OLAP on a single database (the paper's motivation).
+
+The introduction's argument: keeping one copy of the data and serving
+both transactional (row-oriented) and analytical (column-oriented)
+queries from it wrecks memory efficiency on conventional DRAM, because
+one of the two access patterns is always strided.  RC-NVM serves both.
+
+This example runs an interleaved OLXP stream — point selects, updates,
+and aggregate scans over the paper's table-a/table-b schemas — on all
+four simulated systems and reports the per-category and total cycles.
+
+Run:  python examples/olxp_workload.py [scale]
+"""
+
+import sys
+
+from repro.harness.systems import TABLE1_CACHE_CONFIG, build_system
+from repro.workloads.queries import QUERIES
+from repro.workloads.suite import build_benchmark_database
+
+#: An interleaved OLXP stream: transactions and analytics hitting the
+#: same tables, in the order a mixed-tenant system might see them.
+OLXP_STREAM = (
+    "Q1",   # OLTP: selective projection
+    "Q4",   # OLAP: SUM over table-a
+    "Q12",  # OLTP: update
+    "Q6",   # OLAP: AVG over table-a
+    "Q2",   # OLTP: selective SELECT *
+    "Q5",   # OLAP: SUM over table-b
+    "Q13",  # OLTP: update
+    "Q7",   # OLAP: AVG over table-b
+    "Q10",  # OLTP: two-predicate projection
+)
+
+SYSTEMS = ("RC-NVM", "RRAM", "GS-DRAM", "DRAM")
+
+
+def run_stream(system_name, scale):
+    memory = build_system(system_name)
+    db = build_benchmark_database(
+        memory, scale=scale, cache_config=TABLE1_CACHE_CONFIG, verify=True
+    )
+    per_category = {"OLTP": 0, "OLAP": 0}
+    for qid in OLXP_STREAM:
+        spec = QUERIES[qid]
+        outcome = db.execute(
+            spec.sql, params=spec.params, selectivity_hint=spec.selectivity_hint
+        )
+        per_category[spec.category] += outcome.cycles
+    return per_category
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    print(f"OLXP stream of {len(OLXP_STREAM)} statements (scale {scale})\n")
+    print(f"{'system':10s} {'OLTP cycles':>14s} {'OLAP cycles':>14s} {'total':>14s}")
+    totals = {}
+    for system_name in SYSTEMS:
+        per_category = run_stream(system_name, scale)
+        total = sum(per_category.values())
+        totals[system_name] = total
+        print(
+            f"{system_name:10s} {per_category['OLTP']:>14,} "
+            f"{per_category['OLAP']:>14,} {total:>14,}"
+        )
+    print()
+    for system_name in SYSTEMS:
+        if system_name != "RC-NVM":
+            print(
+                f"RC-NVM speedup over {system_name}: "
+                f"{totals[system_name] / totals['RC-NVM']:.2f}x"
+            )
+
+
+if __name__ == "__main__":
+    main()

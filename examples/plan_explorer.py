@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Plan explorer: why the planner chooses what it chooses.
+
+For a few representative statements this walks the optimizer's-eye
+view: the chosen physical plan, the cost model's pricing of every
+alternative, the actual measured cycles, and the trace profile — on
+RC-NVM and on DRAM, where the same SQL gets very different plans.
+
+Run:  python examples/plan_explorer.py
+"""
+
+import dataclasses
+
+from repro import Database, make_dram, make_rcnvm
+from repro.cpu.traceinfo import profile_trace
+from repro.imdb.cost import CostModel
+from repro.imdb.planner import FetchMethod, FilterFetchPlan
+from repro.workloads.datagen import generate_packed
+
+STATEMENTS = [
+    "SELECT f3, f4 FROM t WHERE f10 > 900",
+    "SELECT * FROM t WHERE f10 > 100",
+    "SELECT SUM(f9) FROM t WHERE f10 > 500",
+    "SELECT f3, f6 FROM t ORDER BY f3 LIMIT 10",
+]
+
+
+def build(memory):
+    db = Database(memory, verify=True)
+    layout = "column" if memory.supports_column else "row"
+    db.create_table("t", [(f"f{i}", 8) for i in range(1, 17)], layout=layout)
+    db.table("t").insert_packed(generate_packed("table-a", 8192, 16))
+    return db
+
+
+def measure_plan(db, plan):
+    _result, trace = db.executor.execute(plan)
+    db.reset_timing()
+    return db.machine.run(trace).cycles, trace
+
+
+def main():
+    for name, memory in (("RC-NVM", make_rcnvm()), ("DRAM", make_dram())):
+        db = build(memory)
+        model = CostModel(db)
+        print(f"\n================ {name} ================")
+        for sql in STATEMENTS:
+            plan = db.plan(sql)
+            measured, trace = measure_plan(db, plan)
+            estimate = model.estimate(plan)
+            print(f"\n{sql}")
+            print(f"  plan      : {type(plan).__name__}"
+                  + (f" (fetch={plan.fetch_method.value},"
+                     f" scan={plan.scan_method.value})"
+                     if isinstance(plan, FilterFetchPlan) else ""))
+            print(f"  estimated : {estimate.cycles:>10,.0f} cycles "
+                  f"({estimate.lines:,} lines, {estimate.activations:,} activations)")
+            print(f"  measured  : {measured:>10,} cycles")
+            if isinstance(plan, FilterFetchPlan):
+                for method in FetchMethod:
+                    if method is plan.fetch_method:
+                        continue
+                    if method is FetchMethod.COLUMN and not memory.supports_column:
+                        continue  # no cload on conventional memory
+                    alt = dataclasses.replace(plan, fetch_method=method)
+                    alt_measured, _ = measure_plan(db, alt)
+                    alt_estimate = model.estimate(alt)
+                    print(f"    alt fetch={method.value:10s}: estimated "
+                          f"{alt_estimate.cycles:>10,.0f}, measured {alt_measured:>10,}")
+            profile = profile_trace(trace)
+            summary = profile.render().splitlines()[0]
+            print(f"  trace     : {summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Reliability and point-query extensions on RC-NVM.
+
+Three capabilities beyond the paper's evaluation, all running against
+the same simulated memory the database uses:
+
+1. **SECDED ECC** (Section 4.1 mentions the extra chip per rank): inject
+   single- and double-bit faults into live table cells and watch the
+   (72, 64) Hamming code correct/detect them;
+2. **write endurance**: run an update-heavy workload and report the wear
+   distribution the dirty-buffer flushes produce;
+3. **hash index**: a point query served by a memory-resident index
+   instead of a column scan.
+
+Run:  python examples/reliability_and_indexes.py
+"""
+
+from repro import Database, make_rcnvm
+from repro.memsim.ecc import EccStore, UncorrectableError
+from repro.memsim.endurance import attach_wear_tracker
+from repro.workloads.datagen import generate_packed
+
+
+def main():
+    memory = make_rcnvm()
+    wear = attach_wear_tracker(memory)
+    db = Database(memory, verify=True)
+    table = db.create_table(
+        "orders", [("id", 8), ("status", 8), ("amount", 8), ("region", 8)],
+        layout="column",
+    )
+    table.insert_packed(generate_packed("orders", 8192, 4))
+
+    # -- 1. ECC ----------------------------------------------------------------
+    print("== SECDED ECC over live table cells ==")
+    store = EccStore(db.physmem)
+    chunk = table.chunks[0]
+    sub, row, col = chunk.device_cell(*chunk.local_cell(0, 2))  # tuple 0, amount
+    original = store.read(sub, row, col)
+    store.inject_fault(sub, row, col, bit=11)
+    repaired = store.read(sub, row, col)
+    print(f"  single-bit fault: read {repaired} (expected {original}) "
+          f"-> corrected={store.stats.corrected}")
+    store.inject_fault(sub, row, col, bit=20)
+    store.inject_fault(sub, row, col, bit=50)
+    try:
+        store.read(sub, row, col)
+    except UncorrectableError as error:
+        print(f"  double-bit fault: {error} -> detected={store.stats.detected}")
+
+    # -- 2. endurance -----------------------------------------------------------
+    print("\n== Write endurance under an update-heavy workload ==")
+    for value in range(40):
+        db.execute("UPDATE orders SET status = s WHERE id = v",
+                   params={"s": value, "v": value % 7})
+    snap = wear.snapshot()
+    print(f"  buffer flushes: {snap['total_flushes']}, distinct lines: "
+          f"{snap['lines_touched']}, max wear: {snap['max_wear']}, "
+          f"imbalance: {snap['imbalance']:.1f}x")
+    line, count = wear.hottest(1)[0]
+    print(f"  hottest line: {line.kind.name} {line.index} of subarray "
+          f"{line.subarray} (bank {line.bank}) with {count} flushes")
+
+    # -- 3. hash index ------------------------------------------------------------
+    print("\n== Point query: column scan vs hash index ==")
+    scan = db.execute("SELECT amount, region FROM orders WHERE id = 7")
+    db.create_index("orders", "id")
+    indexed = db.execute("SELECT amount, region FROM orders WHERE id = 7")
+    print(f"  scan   : {scan.cycles:>8,} cycles, {scan.timing.llc_misses} memory reads")
+    print(f"  indexed: {indexed.cycles:>8,} cycles, "
+          f"{indexed.timing.llc_misses} memory reads "
+          f"({scan.cycles / indexed.cycles:.1f}x faster)")
+    print(f"  both return {len(indexed.result.rows)} rows "
+          "(verified against the reference engine)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""RC-NVM reproduction (HPCA 2018).
+
+A dual-addressable NVM memory architecture for in-memory databases:
+symmetric row- and column-oriented accesses, the cache synonym machinery
+they require, and the IMDB co-design (layouts, planner, group caching),
+plus the simulation substrate (memory timing, caches, cores) and the full
+experiment harness for the paper's tables and figures.
+
+Quickstart::
+
+    from repro import build_system, Database
+    system = build_system("RC-NVM")
+    db = Database(system)
+    db.create_table("t", [("f1", 8), ("f2", 8)], layout="column")
+    db.insert_many("t", [(i, i * 2) for i in range(1024)])
+    result = db.execute("SELECT SUM(f2) FROM t WHERE f1 > 100")
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.addressing import AddressMapper, Coordinate, Orientation
+from repro.cpu.machine import Machine, RunResult
+from repro.memsim.system import (
+    MemorySystem,
+    make_dram,
+    make_gsdram,
+    make_rcnvm,
+    make_rram,
+)
+
+__all__ = [
+    "AddressMapper",
+    "Coordinate",
+    "Database",
+    "Machine",
+    "MemorySystem",
+    "Orientation",
+    "RunResult",
+    "__version__",
+    "build_system",
+    "make_dram",
+    "make_gsdram",
+    "make_rcnvm",
+    "make_rram",
+]
+
+
+def __getattr__(name):
+    # Late imports keep `import repro` light and avoid import cycles while
+    # the higher layers (imdb, harness) pull in the whole stack.
+    if name == "Database":
+        from repro.imdb.database import Database
+
+        return Database
+    if name == "build_system":
+        from repro.harness.systems import build_system
+
+        return build_system
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

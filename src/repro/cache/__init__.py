@@ -1,0 +1,35 @@
+"""CPU cache substrate: set-associative caches with orientation-tagged
+lines, crossing-bit synonym resolution, pinning, and MESI coherence."""
+
+from repro.cache.cache import Cache
+from repro.cache.coherence import CoherenceStats, Mesi, MesiDirectory
+from repro.cache.hierarchy import MISS, CacheHierarchy, make_hierarchy
+from repro.cache.line import (
+    CacheLine,
+    key_address,
+    key_line_index,
+    key_orientation,
+    line_key,
+    line_key_from_index,
+)
+from repro.cache.stats import CacheStats, SynonymStats
+from repro.cache.synonym import SynonymDirectory
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheLine",
+    "CacheStats",
+    "CoherenceStats",
+    "MISS",
+    "Mesi",
+    "MesiDirectory",
+    "SynonymDirectory",
+    "SynonymStats",
+    "key_address",
+    "key_line_index",
+    "key_orientation",
+    "line_key",
+    "line_key_from_index",
+    "make_hierarchy",
+]

@@ -1,0 +1,130 @@
+"""Set-associative cache with LRU replacement and pinning support."""
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+from repro.cache.line import CacheLine
+from repro.cache.stats import CacheStats
+from repro.geometry import CACHE_LINE_BYTES
+
+
+class Cache:
+    """One cache level.
+
+    Lines are keyed by :func:`repro.cache.line.line_key`, which already
+    includes the orientation tag, so the same physical data cached under
+    row- and column-oriented addresses occupies two distinct entries —
+    exactly the synonym situation of Section 4.3 that the crossing-bit
+    machinery resolves.
+
+    The replacement policy is LRU, except that pinned lines are skipped
+    during victim selection (the cache-pinning primitive that group
+    caching relies on).  If every way of a set is pinned, the least
+    recently used pinned line is forcibly unpinned and evicted, and the
+    event is counted — the paper notes the group caching size must not
+    exceed the physical cache.
+    """
+
+    def __init__(self, name, size_bytes, ways, hit_latency, line_bytes=CACHE_LINE_BYTES):
+        if size_bytes % (ways * line_bytes):
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible by ways*line ({ways}x{line_bytes})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.num_sets = size_bytes // (ways * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigurationError(f"{name}: number of sets must be a power of two")
+        self._set_mask = self.num_sets - 1
+        self.sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # -- indexing ------------------------------------------------------------
+    def set_of(self, key):
+        return self.sets[key & self._set_mask]
+
+    # -- lookups ---------------------------------------------------------------
+    def lookup(self, key):
+        """Return the resident line and refresh its LRU position, or None."""
+        cache_set = self.set_of(key)
+        line = cache_set.get(key)
+        if line is not None:
+            cache_set.move_to_end(key)
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return line
+
+    def probe(self, key):
+        """Tag check without LRU update or hit/miss accounting."""
+        return self.set_of(key).get(key)
+
+    def contains(self, key):
+        return key in self.set_of(key)
+
+    # -- fills and evictions ---------------------------------------------------
+    def install(self, key, dirty=False, pinned=False):
+        """Insert a line, evicting if needed.
+
+        Returns ``(line, victim)`` where ``victim`` is the evicted
+        :class:`CacheLine` or ``None``.  Installing a key that is already
+        resident just refreshes it.
+        """
+        cache_set = self.set_of(key)
+        line = cache_set.get(key)
+        if line is not None:
+            cache_set.move_to_end(key)
+            line.dirty = line.dirty or dirty
+            line.pinned = line.pinned or pinned
+            return line, None
+        victim = None
+        if len(cache_set) >= self.ways:
+            victim = self._evict_one(cache_set)
+        line = CacheLine(key, dirty=dirty, pinned=pinned)
+        cache_set[key] = line
+        self.stats.fills += 1
+        return line, victim
+
+    def _evict_one(self, cache_set):
+        victim_key = None
+        for candidate_key, candidate in cache_set.items():
+            if not candidate.pinned:
+                victim_key = candidate_key
+                break
+            self.stats.pin_skips += 1
+        if victim_key is None:
+            # Every way pinned: forcibly unpin the LRU line.
+            victim_key = next(iter(cache_set))
+            self.stats.pin_overflows += 1
+        victim = cache_set.pop(victim_key)
+        self.stats.evictions += 1
+        return victim
+
+    def invalidate(self, key):
+        """Remove a line without eviction accounting; returns it or None."""
+        return self.set_of(key).pop(key, None)
+
+    # -- pinning ------------------------------------------------------------------
+    def set_pinned(self, key, pinned):
+        line = self.probe(key)
+        if line is not None:
+            line.pinned = pinned
+        return line
+
+    # -- introspection ---------------------------------------------------------
+    def resident_lines(self):
+        for cache_set in self.sets:
+            yield from cache_set.values()
+
+    def occupancy(self):
+        return sum(len(cache_set) for cache_set in self.sets)
+
+    def clear(self):
+        for cache_set in self.sets:
+            cache_set.clear()
+
+    def __repr__(self):
+        return f"Cache({self.name}, {self.size_bytes >> 10} KiB, {self.ways}-way)"

@@ -1,0 +1,122 @@
+"""Cache synonym resolution for dual-addressed data (paper Section 4.3).
+
+The same 8-byte word can be cached twice: once inside a row-oriented line
+and once inside a column-oriented line.  The paper keeps both copies
+coherent with per-word *crossing bits*:
+
+* when a line is filled, the (up to) eight opposite-orientation lines that
+  cross it are probed; for each one resident, the crossed word is copied
+  so the duplicates agree and the crossing bits are set on both sides;
+* when a word with a set crossing bit is written, the duplicate in the
+  crossed line is updated at the same time;
+* when a line is evicted, the crossing bits pointing at it are cleared.
+
+This module computes crossing geometry (which lines cross which, and at
+which word index) and prices the extra cache-array work; the
+:class:`~repro.cache.hierarchy.CacheHierarchy` drives it.
+"""
+
+from repro.core.addressing import AddressMapper, Orientation
+from repro.cache.line import key_address, key_orientation, line_key
+from repro.cache.stats import SynonymStats
+from repro.geometry import WORDS_PER_LINE
+
+
+class SynonymDirectory:
+    """Crossing-line geometry and overhead pricing for one memory system."""
+
+    #: Default costs in CPU cycles.  The eight crossing probes of a fill
+    #: are performed by the cache controller in parallel with the fill
+    #: itself, so a fill is charged one batch, not eight sequential probes;
+    #: copies and duplicate updates move 8 bytes inside the cache array.
+    PROBE_BATCH_COST = 2
+    COPY_COST = 4
+    WRITE_UPDATE_COST = 2
+    CLEAR_COST = 1
+
+    def __init__(self, mapper: AddressMapper):
+        self.mapper = mapper
+        g = mapper.geometry
+        self._row_bits = g.row_bits
+        self._col_bits = g.col_bits
+        self._offset_bits = g.offset_bits
+        # Shifts within a *byte address* of each format.
+        self._ro_col_shift = self._offset_bits
+        self._ro_row_shift = self._ro_col_shift + self._col_bits
+        self._co_row_shift = self._offset_bits
+        self._co_col_shift = self._co_row_shift + self._row_bits
+        self._upper_shift = self._offset_bits + self._row_bits + self._col_bits
+        self._row_mask = (1 << self._row_bits) - 1
+        self._col_mask = (1 << self._col_bits) - 1
+        self.stats = SynonymStats()
+
+    # -- geometry ---------------------------------------------------------
+    def crossing_keys(self, key):
+        """Keys of the opposite-orientation lines crossing ``key``.
+
+        Returns a list of ``(crossing_key, word_in_self, word_in_other)``
+        triples: ``word_in_self`` is the index (0-7) of the shared word
+        within the line identified by ``key``; ``word_in_other`` its index
+        within the crossing line.
+        """
+        orientation = key_orientation(key)
+        address = key_address(key)
+        upper = address >> self._upper_shift << self._upper_shift
+        crossings = []
+        if orientation is Orientation.ROW:
+            row = (address >> self._ro_row_shift) & self._row_mask
+            col_base = (address >> self._ro_col_shift) & self._col_mask
+            row_base = row & ~(WORDS_PER_LINE - 1)
+            word_in_other = row & (WORDS_PER_LINE - 1)
+            for i in range(WORDS_PER_LINE):
+                cross_addr = (
+                    upper
+                    | ((col_base + i) << self._co_col_shift)
+                    | (row_base << self._co_row_shift)
+                )
+                crossings.append(
+                    (line_key(cross_addr, Orientation.COLUMN), i, word_in_other)
+                )
+        elif orientation is Orientation.COLUMN:
+            col = (address >> self._co_col_shift) & self._col_mask
+            row_base = (address >> self._co_row_shift) & self._row_mask
+            col_base = col & ~(WORDS_PER_LINE - 1)
+            word_in_other = col & (WORDS_PER_LINE - 1)
+            for i in range(WORDS_PER_LINE):
+                cross_addr = (
+                    upper
+                    | ((row_base + i) << self._ro_row_shift)
+                    | (col_base << self._ro_col_shift)
+                )
+                crossings.append(
+                    (line_key(cross_addr, Orientation.ROW), i, word_in_other)
+                )
+        return crossings
+
+    # -- pricing ------------------------------------------------------------
+    def charge_fill_check(self, copies):
+        """Price one fill-time crossing check that found ``copies`` crossed
+        words to duplicate; returns the cycles charged."""
+        self.stats.crossing_checks += 1
+        self.stats.crossing_copies += copies
+        cycles = self.PROBE_BATCH_COST + self.COPY_COST * copies
+        self.stats.overhead_cycles += cycles
+        return cycles
+
+    def charge_write_updates(self, updates):
+        """Price duplicate updates triggered by a write; returns cycles."""
+        if not updates:
+            return 0
+        self.stats.write_updates += updates
+        cycles = self.WRITE_UPDATE_COST * updates
+        self.stats.overhead_cycles += cycles
+        return cycles
+
+    def charge_eviction_clears(self, clears):
+        """Price crossing-bit clears triggered by an eviction."""
+        if not clears:
+            return 0
+        self.stats.eviction_clears += clears
+        cycles = self.CLEAR_COST * clears
+        self.stats.overhead_cycles += cycles
+        return cycles

@@ -1,0 +1,20 @@
+"""The paper's primary contribution: RC-NVM dual addressing, the ISA
+extension, circuit-level models, and group caching."""
+
+from repro.core.addressing import AddressMapper, Coordinate, Orientation
+from repro.core import circuit, isa
+from repro.core.isa import cload, cstore, gather_load, load, store, unpin
+
+__all__ = [
+    "AddressMapper",
+    "Coordinate",
+    "Orientation",
+    "circuit",
+    "cload",
+    "cstore",
+    "gather_load",
+    "isa",
+    "load",
+    "store",
+    "unpin",
+]

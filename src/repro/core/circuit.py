@@ -1,0 +1,155 @@
+"""Circuit-level area and latency models (paper Section 3, Figures 4-5).
+
+The paper's numbers come from layout analysis plus SPICE runs on
+Panasonic's ReRAM device model; we reproduce the *analysis*, not the SPICE
+deck, with small analytical models calibrated to the anchor points the
+paper states in the text:
+
+* RC-DRAM: the 2T1C cell with an extra word line and bit line more than
+  doubles bit-per-area cost ("larger than 200%"), and routing overhead
+  grows with the number of word/bit lines, so the total overhead is
+  "proportional to the number of WLs and BLs" (Section 2.2, Figure 4).
+* RC-NVM: the crossbar cell array is untouched; only peripheral circuitry
+  (a second decoder, sense amplifiers and write drivers on the word-line
+  side, the column buffer, and multiplexers) is added.  Peripheral area
+  scales with N while the array scales with N^2, so the overhead decays
+  roughly as 1/N, dropping "to less than 20% when the numbers of WL and
+  BLs are 512" (Figure 4) and ~15% for the paper's overall design.
+* RC-NVM latency: the extra multiplexing transistors sit on the critical
+  path; the overhead is "just about 15%" at N = 512 and grows with wire
+  length (Figure 5).
+
+All areas are in units of F^2 (feature-size squared) per line of array.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+# -- technology constants (F^2 units, per bit or per line) --------------------
+
+#: Crossbar NVM cell footprint: the canonical 4F^2.
+NVM_CELL_F2 = 4.0
+#: 1T1C DRAM cell footprint.
+DRAM_CELL_F2 = 6.0
+#: 2T1C dual-addressable DRAM cell with the extra word line and bit line
+#: (Section 2.2): the paper's layout analysis finds the bit-per-area cost
+#: "larger than 200%", i.e. the cell tripled.
+RC_DRAM_CELL_F2 = 18.0
+
+#: Peripheral area per word/bit line (decoder slice + sense amplifier +
+#: write driver), calibrated so RC-NVM overhead is 15% at N = 512.
+PERIPHERY_PER_LINE_F2 = 361.0
+#: Extra per-line periphery for the RC variants: mirrored decoder, SAs,
+#: write drivers, the column buffer, and the buffer-select multiplexers.
+RC_EXTRA_PER_LINE_F2 = PERIPHERY_PER_LINE_F2
+
+#: RC-DRAM routing overhead per line pair (repeaters, twisted lines); makes
+#: the RC-DRAM curve grow with N as in Figure 4.
+RC_DRAM_ROUTING_SLOPE = 0.0022
+
+#: Latency model constants: fixed multiplexer delay fraction plus a wire
+#: term that grows with the square of the line length, calibrated through
+#: (N=512, 15%).
+LATENCY_MUX_FRACTION = 0.03
+LATENCY_WIRE_COEFF = (0.15 - LATENCY_MUX_FRACTION) / (512.0**2)
+
+
+def _check_n(n):
+    if n < 2:
+        raise ConfigurationError(f"array needs at least 2 word/bit lines, got {n}")
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area components of one N x N array, in F^2."""
+
+    cell_array: float
+    periphery: float
+    extra_periphery: float
+
+    @property
+    def baseline(self):
+        return self.cell_array + self.periphery
+
+    @property
+    def total(self):
+        return self.baseline + self.extra_periphery
+
+    @property
+    def overhead(self):
+        """Fractional overhead relative to the non-RC baseline array."""
+        return self.extra_periphery / self.baseline
+
+
+def rc_nvm_area(n: int) -> AreaBreakdown:
+    """Area breakdown of an RC-NVM array with ``n`` word and bit lines."""
+    _check_n(n)
+    return AreaBreakdown(
+        cell_array=NVM_CELL_F2 * n * n,
+        periphery=PERIPHERY_PER_LINE_F2 * n,
+        extra_periphery=RC_EXTRA_PER_LINE_F2 * n,
+    )
+
+
+def rc_nvm_area_overhead(n: int) -> float:
+    """Fractional RC-NVM area overhead over conventional crossbar NVM."""
+    return rc_nvm_area(n).overhead
+
+
+def rc_dram_area_overhead(n: int) -> float:
+    """Fractional RC-DRAM area overhead over conventional DRAM.
+
+    The 2T1C cell plus dual-line routing costs >2x in the cell array alone
+    and the routing penalty grows with the array size (Figure 4).
+    """
+    _check_n(n)
+    cell_overhead = RC_DRAM_CELL_F2 / DRAM_CELL_F2 - 1.0
+    routing_overhead = RC_DRAM_ROUTING_SLOPE * n
+    return cell_overhead + routing_overhead
+
+
+def rc_nvm_latency_overhead(n: int) -> float:
+    """Fractional read/write latency overhead of RC-NVM (Figure 5)."""
+    _check_n(n)
+    return LATENCY_MUX_FRACTION + LATENCY_WIRE_COEFF * n * n
+
+
+#: Array sizes swept in Figure 4.
+FIGURE4_ARRAY_SIZES = (16, 32, 64, 128, 256, 512, 1024)
+#: Array sizes swept in Figure 5 (the paper's x axis runs to ~1200).
+FIGURE5_ARRAY_SIZES = (64, 128, 256, 384, 512, 640, 768, 896, 1024, 1152)
+
+
+def area_overhead_sweep(sizes=FIGURE4_ARRAY_SIZES):
+    """Rows of (N, RC-DRAM overhead, RC-NVM overhead) — Figure 4's series."""
+    return [(n, rc_dram_area_overhead(n), rc_nvm_area_overhead(n)) for n in sizes]
+
+
+def latency_overhead_sweep(sizes=FIGURE5_ARRAY_SIZES):
+    """Rows of (N, RC-NVM latency overhead) — Figure 5's series."""
+    return [(n, rc_nvm_latency_overhead(n)) for n in sizes]
+
+
+def scale_timing_for_array(base_timing, n):
+    """Apply the Figure 5 latency overhead to a base NVM timing model.
+
+    The overhead lengthens the array access path: activation (tRCD, which
+    carries the array read) and the write pulse.  At the paper's design
+    point (four 512x512 mats per subarray group, N = 512) this turns the
+    25 ns RRAM read into the ~29 ns RC-NVM read of Table 1.
+    """
+    overhead = 1.0 + rc_nvm_latency_overhead(n)
+    from repro.memsim.timing import DeviceTiming  # local import to avoid cycle
+
+    return DeviceTiming(
+        name=f"{base_timing.name}+RC(N={n})",
+        clock_ratio=base_timing.clock_ratio,
+        t_cas=base_timing.t_cas,
+        t_rcd=max(1, int(round(base_timing.t_rcd * overhead))),
+        t_rp=base_timing.t_rp,
+        t_ras=base_timing.t_ras,
+        burst=base_timing.burst,
+        write_pulse=max(0, int(round(base_timing.write_pulse * overhead))),
+        notes=f"derived from {base_timing.name} with {overhead - 1:.0%} array overhead",
+    )

@@ -1,0 +1,56 @@
+"""ISA extension helpers (paper Section 4.2.3).
+
+The paper adds two instructions::
+
+    cload  reg, addr
+    cstore reg, addr
+
+whose addresses are column-oriented; the memory controller forwards them
+with an extra column-oriented signal (a reserved DDR4 address pin).
+Ordinary ``load``/``store`` keep the row-oriented address space, so
+non-database software is unaffected.
+
+These constructors are the single place trace producers build
+:class:`~repro.cpu.trace.Access` objects, keeping op/orientation pairing
+correct by construction.
+"""
+
+from repro.core.addressing import Orientation
+from repro.cpu.trace import Access, Op
+
+
+def load(address, size=8, gap=1, barrier=False, pin=False):
+    """Row-oriented read (conventional ``load``)."""
+    return Access(Op.READ, address, size, gap, barrier, pin)
+
+
+def store(address, size=8, gap=1, barrier=False):
+    """Row-oriented write (conventional ``store``)."""
+    return Access(Op.WRITE, address, size, gap, barrier)
+
+
+def cload(address, size=8, gap=1, barrier=False, pin=False):
+    """Column-oriented read (the paper's ``cload``)."""
+    return Access(Op.CREAD, address, size, gap, barrier, pin)
+
+
+def cstore(address, size=8, gap=1, barrier=False):
+    """Column-oriented write (the paper's ``cstore``)."""
+    return Access(Op.CWRITE, address, size, gap, barrier)
+
+
+def gather_load(gather_address, coord, size=64, gap=1, barrier=False):
+    """GS-DRAM gathered read: one burst collecting a strided field pattern
+    from an open DRAM row.  ``coord`` locates the row to activate;
+    ``gather_address`` is a synthetic line address in the gather space."""
+    return Access(Op.GATHER, gather_address, size, gap, barrier, coord=coord)
+
+
+def unpin(address, size, orientation=Orientation.COLUMN, gap=0):
+    """Release lines pinned by a group-caching prefetch.
+
+    ``orientation`` tells the cache which address space ``address`` lives
+    in (pinning is used with column-oriented prefetches in the paper, but
+    row-oriented pinning is allowed too).
+    """
+    return Access(Op.UNPIN, address, size, gap, orientation=orientation)

@@ -1,0 +1,117 @@
+"""Huge-page virtual memory layer (paper Section 4.2.2).
+
+The IMDB controls physical data layout from user space by mapping its
+arena with 1 GB huge pages: "within each huge page, the lower 30 bits of
+a virtual address and the corresponding physical address are exactly the
+same".  As long as the subarray bits (row + column + subarray) fall
+inside those low 30 bits — true for the Figure 7 layout — the database
+can place data in specific subarray rows/columns without kernel help.
+
+This module models that contract: an :class:`Arena` hands out huge pages
+backed by physical frames, translates virtual to physical addresses, and
+*checks* the layout-control invariant the paper relies on, so tests can
+prove the address-format property rather than assume it.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError, ConfigurationError
+from repro.geometry import Geometry
+
+HUGE_PAGE_BITS = 30
+HUGE_PAGE_BYTES = 1 << HUGE_PAGE_BITS  # 1 GB
+
+
+@dataclass(frozen=True)
+class HugePage:
+    """One mapped huge page: a virtual base and its physical frame."""
+
+    virtual_base: int
+    physical_base: int
+
+    def __post_init__(self):
+        if self.virtual_base % HUGE_PAGE_BYTES:
+            raise AddressError("virtual base must be 1 GB aligned")
+        if self.physical_base % HUGE_PAGE_BYTES:
+            raise AddressError("physical base must be 1 GB aligned")
+
+    def contains(self, virtual_address):
+        return 0 <= virtual_address - self.virtual_base < HUGE_PAGE_BYTES
+
+
+class Arena:
+    """A database memory arena mapped with 1 GB huge pages.
+
+    Frames are allocated sequentially from the physical address space of
+    the given geometry; virtual bases start at ``virtual_start`` and are
+    contiguous (the mmap-style arena an IMDB would reserve).
+    """
+
+    def __init__(self, geometry: Geometry, virtual_start=1 << 40):
+        if virtual_start % HUGE_PAGE_BYTES:
+            raise AddressError("arena start must be 1 GB aligned")
+        self.geometry = geometry
+        self.virtual_start = virtual_start
+        self.pages = []
+        self._next_frame = 0
+        total = geometry.total_bytes
+        self._max_frames = max(1, total // HUGE_PAGE_BYTES)
+        if total < HUGE_PAGE_BYTES:
+            # Small test geometries: one "huge page" covers the whole
+            # memory; the invariant below degrades gracefully.
+            self._max_frames = 1
+
+    # -- the paper's layout-control invariant --------------------------------
+    def layout_bits(self):
+        """Number of low address bits the database can steer directly:
+        offset + column + row + subarray (Figure 7)."""
+        g = self.geometry
+        return g.offset_bits + g.col_bits + g.row_bits + g.subarray_bits
+
+    def check_layout_control(self):
+        """The subarray bits must fit inside the huge page's low 30 bits,
+        otherwise explicit placement is impossible (Section 4.2.2)."""
+        bits = self.layout_bits()
+        if bits > HUGE_PAGE_BITS:
+            raise ConfigurationError(
+                f"subarray addressing needs {bits} bits but a huge page "
+                f"only preserves {HUGE_PAGE_BITS}; the IMDB cannot control "
+                "layout on this geometry"
+            )
+        return bits
+
+    # -- mapping -----------------------------------------------------------------
+    def map_page(self) -> HugePage:
+        """Map the next huge page of the arena; returns it."""
+        if self._next_frame >= self._max_frames:
+            raise AddressError("physical memory exhausted: no frames left")
+        page = HugePage(
+            virtual_base=self.virtual_start + len(self.pages) * HUGE_PAGE_BYTES,
+            physical_base=self._next_frame * HUGE_PAGE_BYTES,
+        )
+        self._next_frame += 1
+        self.pages.append(page)
+        return page
+
+    def translate(self, virtual_address) -> int:
+        """Virtual -> physical translation through the page table."""
+        for page in self.pages:
+            if page.contains(virtual_address):
+                offset = virtual_address - page.virtual_base
+                return page.physical_base + offset
+        raise AddressError(f"virtual address {virtual_address:#x} is unmapped")
+
+    def translate_back(self, physical_address) -> int:
+        """Physical -> virtual (for debugging/tests)."""
+        for page in self.pages:
+            offset = physical_address - page.physical_base
+            if 0 <= offset < HUGE_PAGE_BYTES:
+                return page.virtual_base + offset
+        raise AddressError(f"physical address {physical_address:#x} is unmapped")
+
+    def low_bits_preserved(self, virtual_address) -> bool:
+        """The property the paper states: VA and PA agree on the low 30
+        bits (trivially true for 1 GB-aligned frames)."""
+        physical = self.translate(virtual_address)
+        mask = HUGE_PAGE_BYTES - 1
+        return (virtual_address & mask) == (physical & mask)

@@ -1,0 +1,19 @@
+"""Core models: trace format, single-core machine, multi-core MESI machine."""
+
+from repro.cpu.trace import Access, Op, merge_traces
+from repro.cpu.machine import Machine, RunResult
+from repro.cpu.multicore import CoreResult, MulticoreMachine, MulticoreResult
+from repro.cpu.tracefile import load_trace, save_trace
+
+__all__ = [
+    "Access",
+    "CoreResult",
+    "Machine",
+    "MulticoreMachine",
+    "MulticoreResult",
+    "Op",
+    "RunResult",
+    "load_trace",
+    "merge_traces",
+    "save_trace",
+]

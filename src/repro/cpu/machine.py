@@ -1,0 +1,186 @@
+"""Single-core machine model: window core + cache stack + memory system.
+
+The core is in-order but memory-level parallel: it keeps up to ``window``
+misses outstanding (an MSHR file), blocking only when the window is full,
+when a trace entry is marked as a barrier, or at the end of the run.  This
+captures the first-order overlap a real core extracts from independent
+scan loads while staying a simple, fast model.
+
+Latency accounting:
+
+* L1 hits are hidden by the pipeline (their cost is the access ``gap``);
+* L2/L3 hits expose their level's hit latency;
+* LLC misses become :class:`~repro.memsim.request.MemRequest` objects and
+  block only through the window;
+* dirty LLC victims are posted writes — they consume bank/bus time but the
+  core does not wait for them;
+* synonym bookkeeping cycles (Section 4.3) are added to the core's clock
+  and tallied separately so Figure 21's overhead ratio can be computed.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.addressing import Orientation
+from repro.errors import CapabilityError
+from repro.cache.hierarchy import MISS, CacheHierarchy
+from repro.cache.line import key_address, key_orientation, line_key_from_index
+from repro.cpu.trace import Op
+from repro.geometry import CACHE_LINE_BYTES, WORD_BYTES
+from repro.memsim.system import MemorySystem
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing one trace."""
+
+    cycles: int = 0
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    lines_touched: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    llc_misses: int = 0
+    writebacks: int = 0
+    synonym_cycles: int = 0
+    memory: dict = field(default_factory=dict)
+    caches: dict = field(default_factory=dict)
+    synonym: dict = field(default_factory=dict)
+
+    @property
+    def coherence_overhead_ratio(self):
+        """Fraction of execution spent on synonym bookkeeping (Figure 21)."""
+        if not self.cycles:
+            return 0.0
+        return self.synonym_cycles / self.cycles
+
+    @property
+    def memory_accesses(self):
+        """Total requests that reached main memory (Figure 19's metric)."""
+        return self.llc_misses + self.writebacks
+
+
+class Machine:
+    """One core in front of a cache hierarchy and a memory system."""
+
+    def __init__(self, memory: MemorySystem, hierarchy: CacheHierarchy, window=8):
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.window = window
+        self._hit_costs = [0] + [level.hit_latency for level in hierarchy.levels[1:]]
+        self._llc_latency = hierarchy.llc.hit_latency
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, trace) -> RunResult:
+        result = RunResult()
+        hierarchy = self.hierarchy
+        memory = self.memory
+        outstanding = deque()
+        now = 0
+
+        for access in trace:
+            now += access.gap
+            op = access.op
+            if op == Op.UNPIN:
+                self._unpin_range(access)
+                continue
+            if access.barrier and outstanding:
+                while outstanding:
+                    now = max(now, memory.completion_of(outstanding.popleft()))
+            result.accesses += 1
+            if access.is_write:
+                result.writes += 1
+            else:
+                result.reads += 1
+
+            orientation = access.orientation
+            first_line = access.address // CACHE_LINE_BYTES
+            last_line = (access.address + access.size - 1) // CACHE_LINE_BYTES
+            for line_index in range(first_line, last_line + 1):
+                key = line_key_from_index(line_index, orientation)
+                result.lines_touched += 1
+                word_mask = (
+                    self._word_mask(access, line_index) if access.is_write else 0xFF
+                )
+                level, extra = hierarchy.lookup(key, access.is_write, word_mask)
+                if extra:
+                    now += extra
+                    result.synonym_cycles += extra
+                if level != MISS:
+                    now += self._hit_costs[level]
+                    if level == 0:
+                        result.l1_hits += 1
+                    elif level == 1:
+                        result.l2_hits += 1
+                    else:
+                        result.l3_hits += 1
+                    if access.pin:
+                        hierarchy.pin(key)
+                    continue
+                # -- LLC miss: fetch the line from main memory.
+                result.llc_misses += 1
+                req = self._line_request(key, access, now + self._llc_latency)
+                outstanding.append(req)
+                if len(outstanding) > self.window:
+                    now = max(now, memory.completion_of(outstanding.popleft()))
+                extra = hierarchy.fill(key, access.is_write, access.pin, word_mask)
+                if extra:
+                    now += extra
+                    result.synonym_cycles += extra
+                for victim_key in hierarchy.drain_writebacks():
+                    result.writebacks += 1
+                    self._writeback(victim_key, now)
+
+        while outstanding:
+            now = max(now, memory.completion_of(outstanding.popleft()))
+        result.cycles = now
+        memory.drain()  # retire posted writes so statistics are complete
+        result.memory = memory.stats.snapshot()
+        result.caches = hierarchy.stats_by_level()
+        if hierarchy.synonym is not None:
+            result.synonym = hierarchy.synonym.stats.snapshot()
+        return result
+
+    # -- helpers ----------------------------------------------------------------
+    def _line_request(self, key, access, arrival):
+        orientation = key_orientation(key)
+        if orientation is Orientation.GATHER:
+            if access.coord is None:
+                raise CapabilityError("gather access requires a device coordinate")
+            return self.memory.request_for_coord(
+                access.coord, Orientation.GATHER, access.is_write, arrival
+            )
+        return self.memory.request_for_line(
+            key_address(key), orientation, access.is_write, arrival
+        )
+
+    def _writeback(self, key, now):
+        """Post a dirty-victim write to memory (the core does not block)."""
+        orientation = key_orientation(key)
+        if orientation is Orientation.GATHER:
+            # Gathered lines are read-only snapshots of row data.
+            return
+        self.memory.request_for_line(key_address(key), orientation, True, now)
+
+    def _unpin_range(self, access):
+        first_line = access.address // CACHE_LINE_BYTES
+        last_line = (access.address + access.size - 1) // CACHE_LINE_BYTES
+        orientation = access.orientation
+        for line_index in range(first_line, last_line + 1):
+            self.hierarchy.unpin(line_key_from_index(line_index, orientation))
+
+    @staticmethod
+    def _word_mask(access, line_index):
+        """Bitmask of the 8-byte words of line ``line_index`` covered by
+        ``access`` (used for crossing-bit write updates)."""
+        line_start = line_index * CACHE_LINE_BYTES
+        start = max(access.address, line_start)
+        end = min(access.address + access.size, line_start + CACHE_LINE_BYTES)
+        first_word = (start - line_start) // WORD_BYTES
+        last_word = (end - 1 - line_start) // WORD_BYTES
+        mask = 0
+        for word in range(first_word, last_word + 1):
+            mask |= 1 << word
+        return mask

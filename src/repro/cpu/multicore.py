@@ -1,0 +1,198 @@
+"""Multi-core machine: N window cores over a MESI directory and one
+shared memory system.
+
+Each core executes its own trace with a private cache and its own clock;
+the machine always advances the core whose clock is furthest behind, so
+memory-controller arbitration sees a realistically interleaved request
+stream.  Coherence and synonym costs are charged to the core that caused
+them (Section 4.3.3).
+"""
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cache.cache import Cache
+from repro.cache.coherence import MesiDirectory
+from repro.cache.line import key_address, key_orientation, line_key_from_index
+from repro.cache.synonym import SynonymDirectory
+from repro.core.addressing import Orientation
+from repro.errors import CapabilityError
+from repro.cpu.trace import Op
+from repro.geometry import CACHE_LINE_BYTES, WORD_BYTES
+from repro.memsim.system import MemorySystem
+
+
+@dataclass
+class CoreResult:
+    """Per-core outcome."""
+
+    cycles: int = 0
+    accesses: int = 0
+    private_hits: int = 0
+    llc_hits: int = 0
+    misses: int = 0
+    coherence_cycles: int = 0
+
+
+@dataclass
+class MulticoreResult:
+    """Aggregate outcome of a multi-core run."""
+
+    cores: List[CoreResult] = field(default_factory=list)
+    coherence: dict = field(default_factory=dict)
+    synonym: dict = field(default_factory=dict)
+    memory: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self):
+        return max((core.cycles for core in self.cores), default=0)
+
+    @property
+    def total_accesses(self):
+        return sum(core.accesses for core in self.cores)
+
+
+class MulticoreMachine:
+    """N cores, private L1s, shared inclusive LLC with a MESI directory."""
+
+    def __init__(
+        self,
+        memory: MemorySystem,
+        n_cores=4,
+        l1_kib=32,
+        llc_kib=1024,
+        ways=8,
+        l1_latency=4,
+        llc_latency=38,
+        window=8,
+    ):
+        self.memory = memory
+        self.n_cores = n_cores
+        self.window = window
+        self.llc_latency = llc_latency
+        privates = [
+            Cache(f"L1-{core}", l1_kib * 1024, ways, l1_latency)
+            for core in range(n_cores)
+        ]
+        llc = Cache("LLC", llc_kib * 1024, ways, llc_latency)
+        synonym = SynonymDirectory(memory.mapper) if memory.supports_column else None
+        self.directory = MesiDirectory(privates, llc, synonym=synonym)
+
+    def run(self, traces) -> MulticoreResult:
+        """Run one trace per core to completion."""
+        if len(traces) > self.n_cores:
+            raise ValueError(f"{len(traces)} traces for {self.n_cores} cores")
+        iterators = [iter(trace) for trace in traces]
+        clocks = [0] * len(traces)
+        outstanding = [deque() for _ in traces]
+        results = [CoreResult() for _ in traces]
+        # Min-heap of (clock, core) — always step the core furthest behind.
+        active = [(0, core) for core in range(len(traces))]
+        heapq.heapify(active)
+        while active:
+            _clock, core = heapq.heappop(active)
+            access = next(iterators[core], None)
+            if access is None:
+                while outstanding[core]:
+                    clocks[core] = max(
+                        clocks[core],
+                        self.memory.completion_of(outstanding[core].popleft()),
+                    )
+                results[core].cycles = clocks[core]
+                continue
+            self._step(core, access, clocks, outstanding, results)
+            heapq.heappush(active, (clocks[core], core))
+        result = MulticoreResult(cores=results)
+        self.memory.drain()
+        result.coherence = self.directory.stats.snapshot()
+        if self.directory.synonym is not None:
+            result.synonym = self.directory.synonym.stats.snapshot()
+        result.memory = self.memory.stats.snapshot()
+        return result
+
+    # -- one trace entry ----------------------------------------------------------
+    def _step(self, core, access, clocks, outstanding, results):
+        clocks[core] += access.gap
+        op = access.op
+        if op == Op.UNPIN:
+            first = access.address // CACHE_LINE_BYTES
+            last = (access.address + access.size - 1) // CACHE_LINE_BYTES
+            for index in range(first, last + 1):
+                self.directory.llc.set_pinned(
+                    line_key_from_index(index, access.orientation), False
+                )
+            return
+        if access.barrier:
+            while outstanding[core]:
+                clocks[core] = max(
+                    clocks[core],
+                    self.memory.completion_of(outstanding[core].popleft()),
+                )
+        result = results[core]
+        result.accesses += 1
+        orientation = access.orientation
+        first = access.address // CACHE_LINE_BYTES
+        last = (access.address + access.size - 1) // CACHE_LINE_BYTES
+        for index in range(first, last + 1):
+            key = line_key_from_index(index, orientation)
+            if access.is_write:
+                hit, llc_hit, extra, writebacks = self.directory.write(
+                    core, key, self._word_mask(access, index)
+                )
+            else:
+                hit, llc_hit, extra, writebacks = self.directory.read(core, key)
+            clocks[core] += extra
+            result.coherence_cycles += extra
+            for victim_key in writebacks:
+                self._writeback(victim_key, clocks[core])
+            if hit:
+                result.private_hits += 1
+                continue
+            if llc_hit:
+                result.llc_hits += 1
+                clocks[core] += self.llc_latency
+                if access.pin:
+                    self.directory.llc.set_pinned(key, True)
+                continue
+            result.misses += 1
+            req = self._line_request(key, access, clocks[core] + self.llc_latency)
+            outstanding[core].append(req)
+            if len(outstanding[core]) > self.window:
+                clocks[core] = max(
+                    clocks[core],
+                    self.memory.completion_of(outstanding[core].popleft()),
+                )
+            if access.pin:
+                self.directory.llc.set_pinned(key, True)
+
+    def _line_request(self, key, access, arrival):
+        orientation = key_orientation(key)
+        if orientation is Orientation.GATHER:
+            if access.coord is None:
+                raise CapabilityError("gather access requires a device coordinate")
+            return self.memory.request_for_coord(
+                access.coord, orientation, access.is_write, arrival
+            )
+        return self.memory.request_for_line(
+            key_address(key), orientation, access.is_write, arrival
+        )
+
+    def _writeback(self, key, now):
+        orientation = key_orientation(key)
+        if orientation is Orientation.GATHER:
+            return
+        self.memory.request_for_line(key_address(key), orientation, True, now)
+
+    @staticmethod
+    def _word_mask(access, line_index):
+        line_start = line_index * CACHE_LINE_BYTES
+        start = max(access.address, line_start)
+        end = min(access.address + access.size, line_start + CACHE_LINE_BYTES)
+        first_word = (start - line_start) // WORD_BYTES
+        last_word = (end - 1 - line_start) // WORD_BYTES
+        mask = 0
+        for word in range(first_word, last_word + 1):
+            mask |= 1 << word
+        return mask

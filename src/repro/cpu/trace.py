@@ -1,0 +1,90 @@
+"""Memory-access trace format.
+
+The IMDB executor and the micro-benchmarks emit streams of :class:`Access`
+objects; the machine model consumes them.  An access is line-granular at
+the cache (64 bytes) but may span any contiguous byte range of its address
+space — the machine splits it into the lines it touches.
+
+Op kinds mirror the paper's ISA: ``load``/``store`` use row-oriented
+addresses, ``cload``/``cstore`` (Section 4.2.3) use column-oriented
+addresses, gathers exist only on GS-DRAM, and pin/unpin model the
+cache-pinning primitive used by group caching (Section 5).
+"""
+
+import enum
+
+from repro.core.addressing import Orientation
+
+
+class Op(enum.IntEnum):
+    READ = 0
+    WRITE = 1
+    CREAD = 2
+    CWRITE = 3
+    GATHER = 4
+    UNPIN = 5
+
+
+_ORIENTATION_OF = {
+    Op.READ: Orientation.ROW,
+    Op.WRITE: Orientation.ROW,
+    Op.CREAD: Orientation.COLUMN,
+    Op.CWRITE: Orientation.COLUMN,
+    Op.GATHER: Orientation.GATHER,
+    Op.UNPIN: Orientation.COLUMN,  # default; group caching pins column lines
+}
+
+_IS_WRITE = frozenset((Op.WRITE, Op.CWRITE))
+
+
+class Access:
+    """One trace entry.
+
+    ``address`` is a byte address in the access's own address space (row-
+    or column-oriented; for gathers it is a synthetic gather-space
+    address).  ``gap`` is the number of compute cycles the core spends
+    before issuing this access.  ``barrier`` forces the core to drain all
+    outstanding misses first (models a true data dependence, e.g. a
+    predicate that decides whether a tuple is fetched).  ``pin`` asks the
+    cache to pin the fetched lines; ``coord`` carries the device
+    coordinate for gathers.
+    """
+
+    __slots__ = ("op", "address", "size", "gap", "barrier", "pin", "coord", "orientation")
+
+    def __init__(
+        self,
+        op,
+        address,
+        size=8,
+        gap=1,
+        barrier=False,
+        pin=False,
+        coord=None,
+        orientation=None,
+    ):
+        self.op = op
+        self.address = address
+        self.size = size
+        self.gap = gap
+        self.barrier = barrier
+        self.pin = pin
+        self.coord = coord
+        self.orientation = orientation if orientation is not None else _ORIENTATION_OF[op]
+
+    @property
+    def is_write(self):
+        return self.op in _IS_WRITE
+
+    def __repr__(self):
+        flags = "".join(name for name, on in (("B", self.barrier), ("P", self.pin)) if on)
+        return (
+            f"Access({Op(self.op).name} {self.orientation.name} "
+            f"{self.address:#x}+{self.size}{' ' + flags if flags else ''})"
+        )
+
+
+def merge_traces(*traces):
+    """Concatenate several trace iterables lazily."""
+    for trace in traces:
+        yield from trace

@@ -1,0 +1,114 @@
+"""Trace analysis: summarize an access stream.
+
+Companion to :mod:`repro.cpu.tracefile`: given any trace (live list or a
+loaded file), compute the profile a memory architect looks at first —
+op mix, read/write balance, per-orientation traffic, unique footprint,
+and the stride histogram that tells row-friendly from column-friendly
+patterns at a glance.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.addressing import Orientation
+from repro.cpu.trace import Op
+from repro.geometry import CACHE_LINE_BYTES
+
+
+@dataclass
+class TraceProfile:
+    """Aggregate statistics of one trace."""
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    pinned: int = 0
+    barriers: int = 0
+    unpins: int = 0
+    bytes_touched: int = 0
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    #: Bytes requested per address space.
+    bytes_by_orientation: Dict[str, int] = field(default_factory=dict)
+    #: Distinct 64-byte lines per address space.
+    footprint_lines: Dict[str, int] = field(default_factory=dict)
+    #: Top inter-access strides (per address space), most common first.
+    top_strides: Dict[str, list] = field(default_factory=dict)
+
+    @property
+    def write_fraction(self):
+        total = self.reads + self.writes
+        return self.writes / total if total else 0.0
+
+    @property
+    def total_footprint_lines(self):
+        return sum(self.footprint_lines.values())
+
+    def render(self):
+        lines = [
+            f"accesses: {self.accesses:,} "
+            f"({self.reads:,} reads, {self.writes:,} writes, "
+            f"{self.write_fraction:.0%} writes)",
+            f"bytes requested: {self.bytes_touched:,} "
+            f"({self.total_footprint_lines:,} distinct cache lines)",
+            "op mix: " + ", ".join(
+                f"{op}={count:,}" for op, count in sorted(self.op_counts.items())
+            ),
+        ]
+        for space, count in sorted(self.bytes_by_orientation.items()):
+            strides = self.top_strides.get(space, [])
+            stride_text = ", ".join(f"{s:+d}x{c}" for s, c in strides[:3])
+            lines.append(
+                f"{space:>6s}: {count:,} bytes over "
+                f"{self.footprint_lines.get(space, 0):,} lines"
+                + (f"; top strides {stride_text}" if stride_text else "")
+            )
+        return "\n".join(lines)
+
+
+def profile_trace(trace) -> TraceProfile:
+    """Compute the profile of an access iterable (consumes it)."""
+    profile = TraceProfile()
+    footprints = {}
+    strides = {}
+    last_address = {}
+    for access in trace:
+        if access.op == Op.UNPIN:
+            profile.unpins += 1
+            continue
+        profile.accesses += 1
+        op_name = Op(access.op).name
+        profile.op_counts[op_name] = profile.op_counts.get(op_name, 0) + 1
+        if access.is_write:
+            profile.writes += 1
+        else:
+            profile.reads += 1
+        if access.pin:
+            profile.pinned += 1
+        if access.barrier:
+            profile.barriers += 1
+        profile.bytes_touched += access.size
+        space = Orientation(access.orientation).name
+        profile.bytes_by_orientation[space] = (
+            profile.bytes_by_orientation.get(space, 0) + access.size
+        )
+        lines = footprints.setdefault(space, set())
+        first = access.address // CACHE_LINE_BYTES
+        last = (access.address + access.size - 1) // CACHE_LINE_BYTES
+        lines.update(range(first, last + 1))
+        previous = last_address.get(space)
+        if previous is not None:
+            strides.setdefault(space, Counter())[access.address - previous] += 1
+        last_address[space] = access.address
+    profile.footprint_lines = {space: len(lines) for space, lines in footprints.items()}
+    profile.top_strides = {
+        space: counter.most_common(5) for space, counter in strides.items()
+    }
+    return profile
+
+
+def profile_file(path) -> TraceProfile:
+    """Profile a saved trace file."""
+    from repro.cpu.tracefile import load_trace
+
+    return profile_trace(load_trace(path))

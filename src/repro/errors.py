@@ -1,0 +1,33 @@
+"""Exception hierarchy for the RC-NVM reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A geometry, timing, or system configuration is invalid."""
+
+
+class AddressError(ReproError):
+    """An address or coordinate is out of range or malformed."""
+
+
+class CapabilityError(ReproError):
+    """An operation was requested that the simulated device cannot perform.
+
+    For example, issuing a column-oriented access to a conventional DRAM
+    system, or a gathered access to anything other than GS-DRAM.
+    """
+
+
+class LayoutError(ReproError):
+    """A table layout or chunk placement request is infeasible."""
+
+
+class SqlError(ReproError):
+    """A SQL statement could not be lexed, parsed, or planned."""
+
+
+class ProtocolError(ReproError):
+    """A cache-coherence protocol invariant was violated."""

@@ -1,0 +1,137 @@
+"""Physical geometry of a simulated memory system.
+
+The paper organizes RC-NVM hierarchically as channel / rank / bank /
+subarray / row / column, with an 8-byte access granularity (Figure 6,
+Table 1).  A *cell* in this code base is one 8-byte word: the atomic unit
+addressable by both the row-oriented and the column-oriented address space
+(Figure 8 shows a single 8-byte datum carrying both addresses).
+
+All dimension counts must be powers of two so that addresses decompose into
+bit fields exactly as in Figure 7 of the paper.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+WORD_BYTES = 8
+"""Access granularity of row- and column-oriented accesses (Section 4.1)."""
+
+CACHE_LINE_BYTES = 64
+"""Cache line size used throughout the paper's evaluation (Table 1)."""
+
+WORDS_PER_LINE = CACHE_LINE_BYTES // WORD_BYTES
+
+
+def _log2_exact(value, name):
+    if value <= 0 or value & (value - 1):
+        raise ConfigurationError(f"{name} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Dimension counts for one memory system.
+
+    ``rows`` and ``cols`` are per *subarray*; ``cols`` counts 8-byte words,
+    so a subarray row is ``cols * 8`` bytes long (the row buffer size) and a
+    subarray column is ``rows * 8`` bytes (the column buffer size).
+    """
+
+    channels: int = 2
+    ranks: int = 4
+    banks: int = 8
+    subarrays: int = 8
+    rows: int = 1024
+    cols: int = 1024
+
+    def __post_init__(self):
+        for name in ("channels", "ranks", "banks", "subarrays", "rows", "cols"):
+            _log2_exact(getattr(self, name), name)
+
+    # -- bit-field widths (Figure 7) ------------------------------------
+    @property
+    def channel_bits(self):
+        return _log2_exact(self.channels, "channels")
+
+    @property
+    def rank_bits(self):
+        return _log2_exact(self.ranks, "ranks")
+
+    @property
+    def bank_bits(self):
+        return _log2_exact(self.banks, "banks")
+
+    @property
+    def subarray_bits(self):
+        return _log2_exact(self.subarrays, "subarrays")
+
+    @property
+    def row_bits(self):
+        return _log2_exact(self.rows, "rows")
+
+    @property
+    def col_bits(self):
+        return _log2_exact(self.cols, "cols")
+
+    @property
+    def offset_bits(self):
+        return _log2_exact(WORD_BYTES, "word")
+
+    @property
+    def address_bits(self):
+        """Total width of a flat byte address covering the whole system."""
+        return (
+            self.channel_bits
+            + self.rank_bits
+            + self.bank_bits
+            + self.subarray_bits
+            + self.row_bits
+            + self.col_bits
+            + self.offset_bits
+        )
+
+    # -- derived sizes ---------------------------------------------------
+    @property
+    def row_buffer_bytes(self):
+        return self.cols * WORD_BYTES
+
+    @property
+    def column_buffer_bytes(self):
+        return self.rows * WORD_BYTES
+
+    @property
+    def subarray_bytes(self):
+        return self.rows * self.cols * WORD_BYTES
+
+    @property
+    def bank_bytes(self):
+        return self.subarrays * self.subarray_bytes
+
+    @property
+    def total_banks(self):
+        return self.channels * self.ranks * self.banks
+
+    @property
+    def total_subarrays(self):
+        return self.total_banks * self.subarrays
+
+    @property
+    def total_bytes(self):
+        return self.total_banks * self.bank_bytes
+
+
+#: Table 1 RC-NVM / RRAM geometry: 2 channels x 4 ranks x 8 banks x
+#: 8 subarrays of 1024 x 1024 words = 4 GB, 8 KB row buffer.
+RCNVM_GEOMETRY = Geometry(channels=2, ranks=4, banks=8, subarrays=8, rows=1024, cols=1024)
+
+#: Table 1 DRAM geometry: 2 channels x 2 ranks x 8 banks, 65536 rows of
+#: 256 words (2 KB row buffer) = 4 GB.  DRAM has no independently
+#: addressable subarrays in the paper's configuration.
+DRAM_GEOMETRY = Geometry(channels=2, ranks=2, banks=8, subarrays=1, rows=65536, cols=256)
+
+#: Scaled-down RC-NVM geometry used by fast tests: 16 MB total.
+SMALL_RCNVM_GEOMETRY = Geometry(channels=2, ranks=1, banks=4, subarrays=2, rows=256, cols=512)
+
+#: Scaled-down DRAM geometry used by fast tests: 16 MB total.
+SMALL_DRAM_GEOMETRY = Geometry(channels=2, ranks=1, banks=4, subarrays=1, rows=2048, cols=128)

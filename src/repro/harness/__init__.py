@@ -1,0 +1,74 @@
+"""Experiment harness: system configs, suite runners, figure regeneration."""
+
+from repro.harness.experiment import (
+    FIGURE_SYSTEMS,
+    QueryMeasurement,
+    SENSITIVITY_POINTS,
+    measure_query,
+    run_group_caching_sweep,
+    run_sensitivity,
+    run_sql_suite,
+)
+from repro.harness.figures import (
+    FigureResult,
+    figure4,
+    figure5,
+    figure17,
+    figure18,
+    figure19,
+    figure20,
+    figure21,
+    figure22,
+    figure23,
+    run_figures_18_21,
+    table1,
+    table2,
+)
+from repro.harness.multicore import (
+    MulticoreMeasurement,
+    compare_systems,
+    run_multicore_olxp,
+)
+from repro.harness.report import format_table, geometric_mean, normalize, speedup
+from repro.harness.systems import (
+    SMALL_CACHE_CONFIG,
+    SYSTEM_NAMES,
+    TABLE1_CACHE_CONFIG,
+    build_system,
+    table1_rows,
+)
+
+__all__ = [
+    "FIGURE_SYSTEMS",
+    "FigureResult",
+    "QueryMeasurement",
+    "SENSITIVITY_POINTS",
+    "SMALL_CACHE_CONFIG",
+    "SYSTEM_NAMES",
+    "TABLE1_CACHE_CONFIG",
+    "build_system",
+    "figure4",
+    "figure5",
+    "figure17",
+    "figure18",
+    "figure19",
+    "figure20",
+    "figure21",
+    "figure22",
+    "figure23",
+    "format_table",
+    "geometric_mean",
+    "measure_query",
+    "MulticoreMeasurement",
+    "compare_systems",
+    "normalize",
+    "run_multicore_olxp",
+    "run_figures_18_21",
+    "run_group_caching_sweep",
+    "run_sensitivity",
+    "run_sql_suite",
+    "speedup",
+    "table1",
+    "table1_rows",
+    "table2",
+]

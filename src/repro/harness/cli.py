@@ -1,0 +1,166 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Installed as ``rcnvm-experiments``::
+
+    rcnvm-experiments --list
+    rcnvm-experiments fig4 fig5
+    rcnvm-experiments fig18 --scale 0.5
+    rcnvm-experiments all --small --scale 0.25
+"""
+
+import argparse
+import sys
+import time
+
+from repro.harness import figures
+
+#: Experiments that need no simulation run.
+_STATIC = {
+    "table1": lambda args: figures.table1(),
+    "table2": lambda args: figures.table2(),
+    "fig4": lambda args: figures.figure4(),
+    "fig5": lambda args: figures.figure5(),
+}
+
+_SQL_GROUP = ("fig18", "fig19", "fig20", "fig21")
+
+#: Measurement cache shared between the SQL figures and the energy view.
+_SQL_MEASUREMENTS = [None]
+
+
+def _multicore_result(args):
+    """4-core OLXP comparison (extension experiment)."""
+    from repro.harness.figures import FigureResult
+    from repro.harness.multicore import compare_systems
+
+    results = compare_systems(("RC-NVM", "DRAM"), scale=args.scale,
+                              small=args.small)
+    rows = [
+        (name, r.makespan) + r.per_core_cycles
+        for name, r in results.items()
+    ]
+    return FigureResult(
+        name="Multicore",
+        title="4-core OLXP makespan (extension; cycles)",
+        headers=("system", "makespan", "core0", "core1", "core2", "core3"),
+        rows=rows,
+    )
+
+
+def _energy_result(measurements):
+    """Per-query energy table derived from the SQL suite (extension)."""
+    from repro.harness.figures import FigureResult
+    from repro.memsim.energy import MODELS, energy_of
+
+    systems = ("RC-NVM", "RRAM", "GS-DRAM", "DRAM")
+    rows = []
+    for qid, per_system in measurements.items():
+        row = [qid]
+        for system in systems:
+            m = per_system[system]
+            row.append(round(energy_of(MODELS[system], m.memory_stats, m.cycles).total_uj, 2))
+        rows.append(tuple(row))
+    return FigureResult(
+        name="Energy",
+        title="Memory energy per query (extension; uJ)",
+        headers=("query",) + systems,
+        rows=rows,
+    )
+
+EXPERIMENTS = ("table1", "table2", "fig4", "fig5", "fig17") + _SQL_GROUP + (
+    "fig22",
+    "fig23",
+    "multicore",
+    "energy",
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="rcnvm-experiments",
+        description="Regenerate the RC-NVM paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"which to run: {', '.join(EXPERIMENTS)}, or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="table-size scale factor (default 1.0)")
+    parser.add_argument("--small", action="store_true",
+                        help="use the small test geometry and caches")
+    parser.add_argument("--verify", action="store_true",
+                        help="cross-check every query result against the reference engine")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:", ", ".join(EXPERIMENTS), "or 'all'")
+        return 0
+
+    wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    cache_config = None
+    if args.small:
+        from repro.harness.systems import SMALL_CACHE_CONFIG
+
+        cache_config = SMALL_CACHE_CONFIG
+
+    sql_results = None
+    for name in wanted:
+        start = time.time()
+        if name in _STATIC:
+            result = _STATIC[name](args)
+        elif name == "fig17":
+            result = figures.figure17(
+                n_tuples=max(64, int(4096 * args.scale)), cache_config=cache_config
+            )
+        elif name in _SQL_GROUP:
+            if sql_results is None:
+                sql_results, _sql_meas = figures.run_figures_18_21(
+                    scale=args.scale,
+                    small=args.small,
+                    cache_config=cache_config,
+                    verify=args.verify,
+                )
+                _SQL_MEASUREMENTS[0] = _sql_meas
+            result = sql_results[
+                {"fig18": "Figure 18", "fig19": "Figure 19",
+                 "fig20": "Figure 20", "fig21": "Figure 21"}[name]
+            ]
+        elif name == "fig22":
+            result = figures.figure22(
+                scale=args.scale, small=args.small, cache_config=cache_config
+            )
+        elif name == "fig23":
+            result = figures.figure23(
+                scale=args.scale, small=args.small, cache_config=cache_config
+            )
+        elif name == "multicore":
+            result = _multicore_result(args)
+        elif name == "energy":
+            if sql_results is None:
+                sql_results, _sql_meas = figures.run_figures_18_21(
+                    scale=args.scale,
+                    small=args.small,
+                    cache_config=cache_config,
+                    verify=args.verify,
+                )
+                sql_measurements = _sql_meas
+            else:
+                sql_measurements = _SQL_MEASUREMENTS[0]
+            result = _energy_result(sql_measurements)
+        else:  # pragma: no cover - guarded above
+            continue
+        elapsed = time.time() - start
+        print(result.render())
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

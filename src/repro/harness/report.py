@@ -1,0 +1,51 @@
+"""Plain-text report formatting for experiment output."""
+
+
+def format_cell(value, float_digits=3):
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(headers, rows, float_digits=3):
+    """Render an aligned plain-text table."""
+    text_rows = [[format_cell(v, float_digits) for v in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def normalize(values, baseline):
+    """Each value divided by ``baseline`` (guarding zero)."""
+    if not baseline:
+        return [0.0 for _ in values]
+    return [v / baseline for v in values]
+
+
+def speedup(baseline, value):
+    """How much faster ``value`` is than ``baseline`` (x factor)."""
+    if not value:
+        return float("inf")
+    return baseline / value
+
+
+def geometric_mean(values):
+    product = 1.0
+    count = 0
+    for value in values:
+        if value > 0:
+            product *= value
+            count += 1
+    if not count:
+        return 0.0
+    return product ** (1.0 / count)

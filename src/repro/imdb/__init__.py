@@ -1,0 +1,44 @@
+"""In-memory database substrate: storage, SQL, planning, execution."""
+
+from repro.imdb.allocator import SubarrayAllocator
+from repro.imdb.binpack import OnlineBinPacker, Placement
+from repro.imdb.chunks import Chunk, IntraLayout, Run, slice_table
+from repro.imdb.cost import CostEstimate, CostModel, explain_costs
+from repro.imdb.database import Database, ExecutionOutcome
+from repro.imdb.executor import Executor, QueryResult
+from repro.imdb.index import HashIndex
+from repro.imdb.ordered_index import OrderedIndex
+from repro.imdb.physmem import PhysicalMemory
+from repro.imdb.planner import FetchMethod, Planner, ScanMethod
+from repro.imdb.reference import ReferenceEngine
+from repro.imdb.schema import Field, Schema
+from repro.imdb.sql_parser import parse
+from repro.imdb.table import Table
+
+__all__ = [
+    "Chunk",
+    "CostEstimate",
+    "CostModel",
+    "explain_costs",
+    "Database",
+    "ExecutionOutcome",
+    "Executor",
+    "FetchMethod",
+    "Field",
+    "HashIndex",
+    "IntraLayout",
+    "OnlineBinPacker",
+    "OrderedIndex",
+    "PhysicalMemory",
+    "Placement",
+    "Planner",
+    "QueryResult",
+    "ReferenceEngine",
+    "Run",
+    "ScanMethod",
+    "Schema",
+    "SubarrayAllocator",
+    "Table",
+    "parse",
+    "slice_table",
+]

@@ -1,0 +1,150 @@
+"""Two-dimensional online bin packing with rotation (paper Section 4.5.3).
+
+Inter-chunk placement is "a typical problem of two-dimensional online bin
+packing with rotation"; the paper adopts Fujita & Hada's online algorithm
+[Theoretical Computer Science 289(2), 2002].  We implement a shelf-based
+online packer in that family: each bin (an RC-NVM subarray) is filled with
+horizontal shelves; an incoming rectangle may be rotated 90 degrees when
+that lets it fit an existing shelf better.  Placement is *online* — a
+placed rectangle never moves — and the objective is to minimize the number
+of bins touched.
+
+Because RC-NVM accesses are symmetric in rows and columns, rotating a
+chunk is free for the database: a column scan of a rotated chunk simply
+becomes a row scan (both are first-class accesses).
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a rectangle landed."""
+
+    bin_index: int
+    x: int  # column origin within the bin
+    y: int  # row origin within the bin
+    rotated: bool
+    width: int  # placed width (after rotation)
+    height: int  # placed height (after rotation)
+
+
+class _Shelf:
+    __slots__ = ("y", "height", "x_used")
+
+    def __init__(self, y, height):
+        self.y = y
+        self.height = height
+        self.x_used = 0
+
+
+class _Bin:
+    __slots__ = ("width", "height", "shelves", "y_used", "placed_area")
+
+    def __init__(self, width, height):
+        self.width = width
+        self.height = height
+        self.shelves = []
+        self.y_used = 0
+        self.placed_area = 0
+
+    def fit_score(self, w, h):
+        """Wasted shelf height if (w, h) were placed here, or None."""
+        best = None
+        for shelf in self.shelves:
+            if h <= shelf.height and shelf.x_used + w <= self.width:
+                waste = shelf.height - h
+                if best is None or waste < best:
+                    best = waste
+        if best is not None:
+            return best
+        if self.y_used + h <= self.height and w <= self.width:
+            return 0  # a fresh shelf wastes nothing (yet)
+        return None
+
+    def place(self, w, h):
+        best_shelf = None
+        best_waste = None
+        for shelf in self.shelves:
+            if h <= shelf.height and shelf.x_used + w <= self.width:
+                waste = shelf.height - h
+                if best_waste is None or waste < best_waste:
+                    best_shelf = shelf
+                    best_waste = waste
+        if best_shelf is None:
+            if self.y_used + h > self.height or w > self.width:
+                raise LayoutError("rectangle does not fit this bin")
+            best_shelf = _Shelf(self.y_used, h)
+            self.shelves.append(best_shelf)
+            self.y_used += h
+        x = best_shelf.x_used
+        best_shelf.x_used += w
+        self.placed_area += w * h
+        return x, best_shelf.y
+
+
+class OnlineBinPacker:
+    """Shelf-based online packer over uniformly sized bins."""
+
+    def __init__(self, bin_width, bin_height, allow_rotation=True):
+        if bin_width <= 0 or bin_height <= 0:
+            raise LayoutError("bin dimensions must be positive")
+        self.bin_width = bin_width
+        self.bin_height = bin_height
+        self.allow_rotation = allow_rotation
+        self.bins = []
+
+    def place(self, width, height) -> Placement:
+        """Place a ``width x height`` rectangle; open a new bin if needed."""
+        if width <= 0 or height <= 0:
+            raise LayoutError("rectangle dimensions must be positive")
+        candidates = [(width, height, False)]
+        if self.allow_rotation and width != height:
+            candidates.append((height, width, True))
+        if all(
+            w > self.bin_width or h > self.bin_height for w, h, _rot in candidates
+        ):
+            raise LayoutError(
+                f"rectangle {width}x{height} cannot fit a "
+                f"{self.bin_width}x{self.bin_height} bin in any orientation"
+            )
+        # Try existing bins first (online, first-fit by bin order; within a
+        # bin choose the orientation wasting the least shelf height).
+        for index, bin_ in enumerate(self.bins):
+            best = None
+            for w, h, rotated in candidates:
+                score = bin_.fit_score(w, h)
+                if score is not None and (best is None or score < best[0]):
+                    best = (score, w, h, rotated)
+            if best is not None:
+                _score, w, h, rotated = best
+                x, y = bin_.place(w, h)
+                return Placement(index, x, y, rotated, w, h)
+        # Open a new bin.  Keep the caller's natural orientation when it
+        # fits (a rotated chunk is functionally fine on RC-NVM — scans
+        # just swap direction — but rotation is a packing tool, not a
+        # default); rotate only when that is the only way to fit.
+        fitting = [
+            (w, h, rot)
+            for w, h, rot in candidates
+            if w <= self.bin_width and h <= self.bin_height
+        ]
+        fitting.sort(key=lambda c: c[2])  # non-rotated first
+        w, h, rotated = fitting[0]
+        bin_ = _Bin(self.bin_width, self.bin_height)
+        self.bins.append(bin_)
+        x, y = bin_.place(w, h)
+        return Placement(len(self.bins) - 1, x, y, rotated, w, h)
+
+    @property
+    def bins_used(self):
+        return len(self.bins)
+
+    def utilization(self):
+        """Fraction of opened bin area covered by placed rectangles."""
+        if not self.bins:
+            return 0.0
+        placed = sum(bin_.placed_area for bin_ in self.bins)
+        return placed / (len(self.bins) * self.bin_width * self.bin_height)

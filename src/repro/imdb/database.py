@@ -1,0 +1,249 @@
+"""Database facade: the library's main entry point.
+
+Bundles a memory system, a cache hierarchy + core model, the allocator,
+the SQL front end, planner, executor, and reference engine, and exposes a
+small API::
+
+    db = Database(make_rcnvm())
+    db.create_table("t", [("f1", 8), ("f2", 8)], layout="column")
+    db.insert_many("t", rows)
+    outcome = db.execute("SELECT SUM(f2) FROM t WHERE f1 > x", params={"x": 10})
+    outcome.result.value   # the real answer
+    outcome.timing.cycles  # simulated execution time
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.hierarchy import CacheHierarchy, make_hierarchy
+from repro.cache.synonym import SynonymDirectory
+from repro.cpu.machine import Machine, RunResult
+from repro.errors import LayoutError, SqlError
+from repro.imdb.allocator import SubarrayAllocator
+from repro.imdb.chunks import IntraLayout
+from repro.imdb.executor import Executor, QueryResult
+from repro.imdb.index import HashIndex
+from repro.imdb.ordered_index import OrderedIndex
+from repro.imdb.physmem import PhysicalMemory
+from repro.imdb.planner import Planner
+from repro.imdb.reference import ReferenceEngine
+from repro.imdb.schema import Schema
+from repro.imdb.sql_parser import parse
+from repro.imdb.table import Table
+from repro.memsim.system import MemorySystem
+
+
+@dataclass
+class ExecutionOutcome:
+    """Everything one statement produced."""
+
+    sql: str
+    result: QueryResult
+    timing: Optional[RunResult]
+    plan: object
+    trace_length: int
+
+    @property
+    def cycles(self):
+        return self.timing.cycles if self.timing else None
+
+
+class Database:
+    """An in-memory database running on one simulated memory system."""
+
+    def __init__(
+        self,
+        memory: MemorySystem,
+        cache_config: Optional[dict] = None,
+        window: int = 8,
+        default_group_lines: int = 0,
+        verify: bool = False,
+    ):
+        self.memory = memory
+        self.physmem = PhysicalMemory(memory.geometry)
+        self.allocator = SubarrayAllocator(
+            memory.geometry, allow_rotation=memory.supports_column
+        )
+        self.cache_config = dict(cache_config or {})
+        self.window = window
+        self.default_group_lines = default_group_lines
+        self.verify = verify
+        self.tables = {}
+        self.planner = Planner(self)
+        self.executor = Executor(self)
+        self.reference = ReferenceEngine(self)
+        self.hierarchy: CacheHierarchy = None
+        self.machine: Machine = None
+        self.reset_timing()
+
+    # -- timing state ------------------------------------------------------------
+    def reset_timing(self):
+        """Cold caches, idle banks, zeroed statistics; data is preserved.
+
+        Called between benchmark queries so each starts from the same
+        micro-architectural state, like a fresh simulator checkpoint.
+        """
+        self.memory.reset()
+        synonym = (
+            SynonymDirectory(self.physmem.mapper) if self.memory.supports_column else None
+        )
+        self.hierarchy = make_hierarchy(synonym=synonym, **self.cache_config)
+        self.machine = Machine(self.memory, self.hierarchy, window=self.window)
+
+    # -- schema ------------------------------------------------------------------
+    def create_table(self, name, fields, layout="row") -> Table:
+        if name in self.tables:
+            raise LayoutError(f"table {name!r} already exists")
+        if isinstance(layout, str):
+            layout = IntraLayout(layout)
+        table = Table(name, Schema(fields), layout, self.physmem, self.allocator)
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name):
+        """Forget a table (its subarray space is not reclaimed — the
+        online packer never moves placed chunks)."""
+        self.tables.pop(name, None)
+
+    def table(self, name) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SqlError(f"no table named {name!r}") from None
+
+    def insert_many(self, name, rows):
+        self.table(name).insert_many(rows)
+
+    def create_index(self, table_name, field_name) -> HashIndex:
+        """Build a hash index over one field (after loading; the index
+        does not follow later inserts)."""
+        table = self.table(table_name)
+        if field_name in table.indexes:
+            raise LayoutError(f"{table_name}.{field_name} is already indexed")
+        index = HashIndex(table, field_name)
+        table.indexes[field_name] = index
+        return index
+
+    def drop_index(self, table_name, field_name):
+        """Forget an index (its subarray space is not reclaimed)."""
+        self.table(table_name).indexes.pop(field_name, None)
+
+    def create_ordered_index(self, table_name, field_name) -> OrderedIndex:
+        """Build a sorted-projection index for range predicates."""
+        table = self.table(table_name)
+        if field_name in table.ordered_indexes:
+            raise LayoutError(
+                f"{table_name}.{field_name} already has an ordered index"
+            )
+        index = OrderedIndex(table, field_name)
+        table.ordered_indexes[field_name] = index
+        return index
+
+    def drop_ordered_index(self, table_name, field_name):
+        self.table(table_name).ordered_indexes.pop(field_name, None)
+
+    # -- querying -----------------------------------------------------------------
+    def plan(self, sql, params=None, selectivity_hint=None, group_lines=None):
+        statement = parse(sql)
+        return self.planner.plan(
+            statement,
+            params=params,
+            selectivity_hint=selectivity_hint,
+            group_lines=group_lines,
+        )
+
+    def execute(
+        self,
+        sql,
+        params=None,
+        selectivity_hint=None,
+        group_lines=None,
+        simulate=True,
+        fresh_timing=True,
+        verify=None,
+    ) -> ExecutionOutcome:
+        """Parse, plan, execute, and (optionally) time one statement.
+
+        ``fresh_timing`` resets caches/banks first so results are
+        comparable across queries; ``verify`` (default: the database's
+        ``verify`` flag) cross-checks the result against the naive
+        reference engine.
+        """
+        statement = parse(sql)
+        plan = self.planner.plan(
+            statement,
+            params=params,
+            selectivity_hint=selectivity_hint,
+            group_lines=group_lines,
+        )
+        verify = self.verify if verify is None else verify
+        expected = self.reference.execute(statement, params) if verify else None
+        result, trace = self.executor.execute(plan)
+        if expected is not None:
+            _check_result(sql, result, expected)
+        timing = None
+        if simulate:
+            if fresh_timing:
+                self.reset_timing()
+            timing = self.machine.run(trace)
+        return ExecutionOutcome(
+            sql=sql,
+            result=result,
+            timing=timing,
+            plan=plan,
+            trace_length=len(trace),
+        )
+
+    def explain(self, sql, params=None, **kwargs):
+        """The plan the planner would choose, as a readable string."""
+        return repr(self.plan(sql, params=params, **kwargs))
+
+    def explain_costs(self, sql, params=None, **kwargs):
+        """Price the chosen plan and its alternatives (see
+        :func:`repro.imdb.cost.explain_costs`)."""
+        from repro.imdb.cost import explain_costs
+
+        return explain_costs(self, sql, params=params, **kwargs)
+
+    def trace_to_file(self, path, sql, params=None, **kwargs):
+        """Execute a statement and save its memory trace to ``path`` (the
+        shape of the authors' released RCNVMTrace artifact).  Returns the
+        access count.  Note: UPDATE statements mutate the data while the
+        trace is generated, like any execution."""
+        from repro.cpu.tracefile import save_trace
+
+        plan = self.plan(sql, params=params, **kwargs)
+        _result, trace = self.executor.execute(plan)
+        return save_trace(path, trace)
+
+
+def _check_result(sql, result, expected):
+    if result.kind != expected.kind:
+        raise AssertionError(
+            f"{sql}: executor returned {result.kind}, reference {expected.kind}"
+        )
+    if result.kind == "scalar":
+        matches = (
+            abs(result.value - expected.value) < 1e-6
+            if isinstance(result.value, float) or isinstance(expected.value, float)
+            else result.value == expected.value
+        )
+        if not matches:
+            raise AssertionError(
+                f"{sql}: executor value {result.value} != reference {expected.value}"
+            )
+    elif result.kind == "count":
+        if result.count != expected.count:
+            raise AssertionError(
+                f"{sql}: executor count {result.count} != reference {expected.count}"
+            )
+    else:
+        if result.ordered or expected.ordered:
+            matches = result.rows == expected.rows
+        else:
+            matches = sorted(result.rows) == sorted(expected.rows)
+        if not matches:
+            raise AssertionError(
+                f"{sql}: executor rows differ from reference "
+                f"({len(result.rows)} vs {len(expected.rows)})"
+            )

@@ -1,0 +1,144 @@
+"""Hash index stored in simulated memory.
+
+An IMDB serves point queries through indexes, not scans; the paper's
+queries Q12/Q13 (``WHERE f10 = z``) are the classic case.  This index is
+a real data structure living in the same dual-addressable memory as the
+tables: an open-addressing (linear probing) hash table of fixed-width
+slots, placed through the same subarray allocator, so index probes cost
+traced memory accesses exactly like table accesses do.
+
+Slot layout: two cells per slot — ``(key, tuple_id + 1)``; an id cell of
+zero means *empty* (cells start zeroed, and tuple ids are stored +1).
+Duplicate keys occupy multiple slots; a probe walks until it hits an
+empty slot.  The load factor is
+kept at or below one half.
+
+Index maintenance under UPDATE of the indexed field is out of scope
+(linear-probing deletion needs tombstones); the planner refuses such
+statements rather than silently corrupting the index.
+"""
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.imdb.chunks import Run
+
+
+def _hash(key: int, mask: int) -> int:
+    """Fibonacci hashing over the 64-bit key space."""
+    return ((key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF) >> 13 & mask
+
+
+class HashIndex:
+    """Equality index over one single-word field of one table."""
+
+    SLOT_CELLS = 2  # (key, tuple_id + 1); id cell 0 = empty
+
+    def __init__(self, table, field_name):
+        field = table.schema.field(field_name)
+        if field.is_wide:
+            raise LayoutError(f"cannot index wide field {field_name!r}")
+        self.table = table
+        self.field_name = field_name
+        self.physmem = table.physmem
+        values = table.field_values(field_name)
+        self.n_entries = len(values)
+        capacity = 4
+        while capacity < 2 * max(1, self.n_entries):
+            capacity *= 2
+        self.capacity = capacity
+        self.mask = capacity - 1
+        self._place(table.allocator, table.physmem.geometry)
+        self._build(values)
+
+    # -- placement -----------------------------------------------------------
+    def _place(self, allocator, geometry):
+        cells_needed = self.capacity * self.SLOT_CELLS
+        width = min(geometry.cols, cells_needed)
+        width -= width % self.SLOT_CELLS  # never split a slot across rows
+        height = -(-cells_needed // width)
+        if height > geometry.rows:
+            raise LayoutError("index larger than a subarray is unsupported")
+        self.placement = allocator.place(width, height)
+        self.width = width
+        self.height = height
+
+    def _slot_cell(self, slot):
+        """(subarray, device_row, device_col) of a slot's first cell."""
+        linear = slot * self.SLOT_CELLS
+        row, col = divmod(linear, self.width)
+        p = self.placement
+        if p.rotated:
+            return p.bin_index, p.y + col, p.x + row
+        return p.bin_index, p.y + row, p.x + col
+
+    def slot_run(self, slot) -> Run:
+        sub, device_row, device_col = self._slot_cell(slot)
+        vertical = bool(self.placement.rotated)
+        return Run(
+            subarray=sub,
+            vertical=vertical,
+            fixed=device_col if vertical else device_row,
+            start=device_row if vertical else device_col,
+            count=self.SLOT_CELLS,
+            first_tuple=0,
+            tuple_stride=0,
+        )
+
+    # -- construction (functional, untimed like table loading) ---------------------
+    def _build(self, values):
+        for tuple_id, value in enumerate(values):
+            self._insert(int(value), tuple_id)
+
+    def _insert(self, key, tuple_id):
+        slot = _hash(key, self.mask)
+        for _ in range(self.capacity):
+            _stored_key, stored_id = self._read_slot(slot)
+            if stored_id == 0:
+                self._write_slot(slot, np.int64(key), np.int64(tuple_id + 1))
+                return
+            slot = (slot + 1) & self.mask
+        raise LayoutError("hash index overflow (load factor exceeded)")
+
+    # -- probing --------------------------------------------------------------------
+    def probe(self, key, trace=None, executor=None):
+        """All tuple ids whose field equals ``key``.
+
+        When ``trace``/``executor`` are given, each probed slot emits one
+        row-oriented load (consecutive slots share cache lines, so a
+        cluster costs few actual line fetches)."""
+        key = int(key)
+        ids = []
+        slot = _hash(key, self.mask)
+        for _ in range(self.capacity):
+            stored_key, stored_id = self._read_slot(slot)
+            if trace is not None and executor is not None:
+                executor.emit_run(trace, self.slot_run(slot), gap=1)
+            if stored_id == 0:
+                return ids
+            if stored_key == key:
+                ids.append(stored_id - 1)
+            slot = (slot + 1) & self.mask
+        return ids
+
+    def _read_slot(self, slot):
+        sub, row, col = self._slot_cell(slot)
+        grid = self.physmem.subarray(sub)
+        if self.placement.rotated:
+            return int(grid[row, col]), int(grid[row + 1, col])
+        return int(grid[row, col]), int(grid[row, col + 1])
+
+    def _write_slot(self, slot, key_cell, id_cell):
+        sub, row, col = self._slot_cell(slot)
+        if self.placement.rotated:
+            self.physmem.write_cell(sub, row, col, key_cell)
+            self.physmem.write_cell(sub, row + 1, col, id_cell)
+        else:
+            self.physmem.write_cell(sub, row, col, key_cell)
+            self.physmem.write_cell(sub, row, col + 1, id_cell)
+
+    def __repr__(self):
+        return (
+            f"HashIndex({self.table.name}.{self.field_name}, "
+            f"{self.n_entries} entries / {self.capacity} slots)"
+        )

@@ -1,0 +1,155 @@
+"""Ordered index: a sorted projection stored in simulated memory.
+
+The column-store classic: a materialized ``(key, tuple_id)`` projection
+sorted by key.  Range predicates (``f > x``, ``f <= y``) resolve with a
+traced binary search followed by a contiguous range read — O(log n)
+scattered lines plus exactly the matching entries — instead of scanning
+the whole column.
+
+Entries are two cells each, laid out row-major in a rectangle placed by
+the shared allocator, so both the binary-search probes and the range
+read are ordinary traced accesses.  Like the hash index, maintenance
+under updates of the indexed field is refused at plan time.
+"""
+
+import numpy as np
+
+from repro.errors import LayoutError, SqlError
+from repro.geometry import WORDS_PER_LINE
+from repro.imdb.chunks import Run
+
+_RANGE_OPS = (">", "<", ">=", "<=", "=")
+
+
+class OrderedIndex:
+    """Sorted (key, tuple_id) projection over one single-word field."""
+
+    ENTRY_CELLS = 2
+
+    def __init__(self, table, field_name):
+        field = table.schema.field(field_name)
+        if field.is_wide:
+            raise LayoutError(f"cannot index wide field {field_name!r}")
+        self.table = table
+        self.field_name = field_name
+        self.physmem = table.physmem
+        values = table.field_values(field_name)
+        order = np.argsort(values, kind="stable")
+        self.n_entries = len(values)
+        self._keys = values[order]  # functional shadow for fast lookups
+        self._ids = order.astype(np.int64)
+        self._place(table.allocator, table.physmem.geometry)
+        self._store()
+
+    # -- placement and storage ------------------------------------------------
+    def _place(self, allocator, geometry):
+        cells = max(self.ENTRY_CELLS, self.n_entries * self.ENTRY_CELLS)
+        width = min(geometry.cols, cells)
+        width -= width % self.ENTRY_CELLS
+        height = -(-cells // width)
+        if height > geometry.rows:
+            raise LayoutError("ordered index larger than a subarray is unsupported")
+        self.placement = allocator.place(width, height)
+        self.width = width
+        self.height = height
+
+    def _entry_cell(self, position):
+        linear = position * self.ENTRY_CELLS
+        row, col = divmod(linear, self.width)
+        p = self.placement
+        if p.rotated:
+            return p.bin_index, p.y + col, p.x + row
+        return p.bin_index, p.y + row, p.x + col
+
+    def _store(self):
+        for position in range(self.n_entries):
+            sub, row, col = self._entry_cell(position)
+            if self.placement.rotated:
+                self.physmem.write_cell(sub, row, col, self._keys[position])
+                self.physmem.write_cell(sub, row + 1, col, self._ids[position])
+            else:
+                self.physmem.write_cell(sub, row, col, self._keys[position])
+                self.physmem.write_cell(sub, row, col + 1, self._ids[position])
+
+    def entry_run(self, position, count=1) -> Run:
+        """Device run covering ``count`` consecutive entries (may span
+        rows only when unrotated and aligned; callers keep count small or
+        line-aligned)."""
+        sub, device_row, device_col = self._entry_cell(position)
+        vertical = bool(self.placement.rotated)
+        return Run(
+            subarray=sub,
+            vertical=vertical,
+            fixed=device_col if vertical else device_row,
+            start=device_row if vertical else device_col,
+            count=count * self.ENTRY_CELLS,
+            first_tuple=0,
+            tuple_stride=0,
+        )
+
+    # -- probing ----------------------------------------------------------------
+    def _bounds(self, op, value):
+        """Half-open [lo, hi) entry range satisfying ``key op value``."""
+        if op == ">":
+            return int(np.searchsorted(self._keys, value, side="right")), self.n_entries
+        if op == ">=":
+            return int(np.searchsorted(self._keys, value, side="left")), self.n_entries
+        if op == "<":
+            return 0, int(np.searchsorted(self._keys, value, side="left"))
+        if op == "<=":
+            return 0, int(np.searchsorted(self._keys, value, side="right"))
+        if op == "=":
+            return (
+                int(np.searchsorted(self._keys, value, side="left")),
+                int(np.searchsorted(self._keys, value, side="right")),
+            )
+        raise SqlError(f"ordered index cannot serve operator {op!r}")
+
+    def range_probe(self, op, value, trace=None, executor=None):
+        """Tuple ids satisfying ``field op value``.
+
+        Emits a binary-search probe trail (one line per visited entry)
+        plus a sequential read of the matching range."""
+        lo, hi = self._bounds(op, value)
+        if trace is not None and executor is not None:
+            self._emit_binary_search(trace, executor, value)
+            self._emit_range_read(trace, executor, lo, hi)
+        return [int(i) for i in self._ids[lo:hi]]
+
+    def _emit_binary_search(self, trace, executor, value):
+        low, high = 0, max(0, self.n_entries - 1)
+        while low < high:
+            mid = (low + high) // 2
+            executor.emit_run(trace, self.entry_run(mid), gap=1)
+            if self._keys[mid] < value:
+                low = mid + 1
+            else:
+                high = mid
+        if self.n_entries:
+            executor.emit_run(trace, self.entry_run(low), gap=1)
+
+    def _emit_range_read(self, trace, executor, lo, hi):
+        """Sequential read of entries [lo, hi), one access per row
+        segment (contiguous in the row-oriented space)."""
+        position = lo
+        while position < hi:
+            sub, device_row, device_col = self._entry_cell(position)
+            if self.placement.rotated:
+                # One entry at a time down the device column.
+                executor.emit_run(trace, self.entry_run(position), gap=1)
+                position += 1
+                continue
+            row_end_cells = self.width - (position * self.ENTRY_CELLS % self.width)
+            entries_here = min(hi - position, row_end_cells // self.ENTRY_CELLS)
+            executor.emit_run(
+                trace,
+                self.entry_run(position, entries_here),
+                gap=max(1, entries_here // WORDS_PER_LINE),
+            )
+            position += entries_here
+
+    def __repr__(self):
+        return (
+            f"OrderedIndex({self.table.name}.{self.field_name}, "
+            f"{self.n_entries} entries)"
+        )

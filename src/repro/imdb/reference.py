@@ -1,0 +1,182 @@
+"""Naive reference query engine.
+
+Evaluates statements directly over the functional table data, with no
+plans, traces, or layout awareness.  Every executor result is
+cross-checkable against this engine (and the test suite does exactly
+that, for every layout and every simulated system).
+"""
+
+import numpy as np
+
+from repro.errors import SqlError
+from repro.imdb.executor import QueryResult
+from repro.imdb.planner import _compare
+from repro.imdb.sql_ast import Aggregate, ColumnRef, Literal, Select, Star, Update
+
+
+class ReferenceEngine:
+    """Layout-oblivious evaluator used as ground truth."""
+
+    def __init__(self, database):
+        self.database = database
+
+    def execute(self, statement, params=None):
+        params = params or {}
+        if isinstance(statement, Select):
+            if len(statement.tables) == 2:
+                return self._join(statement, params)
+            return self._select(statement, params)
+        if isinstance(statement, Update):
+            return self._update(statement, params)
+        raise SqlError(f"reference engine cannot run {type(statement).__name__}")
+
+    # -- helpers -----------------------------------------------------------
+    def _constant(self, operand, params):
+        if isinstance(operand, Literal):
+            return operand.value
+        if (
+            isinstance(operand, ColumnRef)
+            and operand.table is None
+            and operand.name in params
+        ):
+            return int(params[operand.name])
+        return None
+
+    def _mask(self, table, comparisons, params):
+        mask = np.ones(table.n_tuples, dtype=bool)
+        for comparison in comparisons:
+            left_const = self._constant(comparison.left, params)
+            right_const = self._constant(comparison.right, params)
+            if left_const is None and right_const is not None:
+                values = table.field_values(comparison.left.name)
+                mask &= _compare(values, comparison.op, right_const)
+            elif right_const is None and left_const is not None:
+                values = table.field_values(comparison.right.name)
+                mask &= _compare(values, _FLIP[comparison.op], left_const)
+            else:
+                raise SqlError(f"unsupported predicate {comparison}")
+        return mask
+
+    def _project_rows(self, table, ids, fields):
+        """Rows (tuple order) of the requested fields; None = all fields."""
+        names = fields if fields is not None else table.schema.field_names()
+        columns = []
+        for name in names:
+            field = table.schema.field(name)
+            if field.is_wide:
+                words = [table.field_values(name, w)[ids] for w in range(field.words)]
+                columns.append(
+                    [tuple(int(w[i]) for w in words) for i in range(len(ids))]
+                )
+            else:
+                columns.append([int(v) for v in table.field_values(name)[ids]])
+        return [tuple(column[i] for column in columns) for i in range(len(ids))]
+
+    # -- statements ----------------------------------------------------------
+    def _select(self, statement, params):
+        table = self.database.table(statement.tables[0])
+        mask = self._mask(table, statement.where, params)
+        ids = np.nonzero(mask)[0]
+        items = statement.items
+        if len(items) == 1 and isinstance(items[0], Aggregate):
+            agg = items[0]
+            field = table.schema.field(agg.column.name)
+            if field.is_wide:
+                total = sum(
+                    int(table.field_values(agg.column.name, w)[ids].sum())
+                    for w in range(field.words)
+                )
+                if agg.func == "SUM":
+                    return QueryResult(kind="scalar", value=total)
+                if agg.func == "AVG":
+                    return QueryResult(
+                        kind="scalar", value=total / max(1, len(ids))
+                    )
+                return QueryResult(kind="scalar", value=len(ids))
+            values = table.field_values(agg.column.name)[ids]
+            if agg.func == "SUM":
+                value = int(values.sum()) if len(values) else 0
+            elif agg.func == "AVG":
+                value = float(values.mean()) if len(values) else 0.0
+            elif agg.func == "MIN":
+                value = int(values.min()) if len(values) else None
+            elif agg.func == "MAX":
+                value = int(values.max()) if len(values) else None
+            else:
+                value = int(len(values))
+            return QueryResult(kind="scalar", value=value)
+        if len(items) == 1 and isinstance(items[0], Star):
+            rows = self._project_rows(table, ids, None)
+            return self._order_and_limit(statement, table, None, rows)
+        fields = [item.name for item in items]
+        rows = self._project_rows(table, ids, fields)
+        return self._order_and_limit(statement, table, fields, rows)
+
+    @staticmethod
+    def _order_and_limit(statement, table, fields, rows):
+        ordered = statement.order_by is not None
+        if ordered:
+            names = fields if fields is not None else table.schema.field_names()
+            key_index = names.index(statement.order_by.column.name)
+            rows = sorted(
+                rows,
+                key=lambda row: row[key_index],
+                reverse=statement.order_by.descending,
+            )
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        return QueryResult(kind="rows", rows=rows, ordered=ordered)
+
+    def _join(self, statement, params):
+        left = self.database.table(statement.tables[0])
+        right = self.database.table(statement.tables[1])
+        equality = None
+        extras = []
+        for comparison in statement.where:
+            lref, rref = comparison.left, comparison.right
+            op = comparison.op
+            if lref.table == right.name and rref.table == left.name:
+                lref, rref = rref, lref
+                op = _FLIP[op]
+            if op == "=":
+                equality = (lref.name, rref.name)
+            else:
+                extras.append((lref.name, op, rref.name))
+        if equality is None:
+            raise SqlError("reference join requires an equality predicate")
+        left_key = left.field_values(equality[0])
+        right_key = right.field_values(equality[1])
+        buckets = {}
+        for rid, key in enumerate(right_key):
+            buckets.setdefault(int(key), []).append(rid)
+        extra_left = {f: left.field_values(f) for f, _o, _r in extras}
+        extra_right = {f: right.field_values(f) for _l, _o, f in extras}
+        rows = []
+        out = [(item.table, item.name) for item in statement.items]
+        out_left = {f: left.field_values(f) for t, f in out if t == left.name}
+        out_right = {f: right.field_values(f) for t, f in out if t == right.name}
+        for lid, key in enumerate(left_key):
+            for rid in buckets.get(int(key), ()):
+                if all(
+                    bool(_compare(np.int64(extra_left[lf][lid]), op,
+                                  int(extra_right[rf][rid])))
+                    for lf, op, rf in extras
+                ):
+                    row = []
+                    for table_name, field_name in out:
+                        if table_name == left.name:
+                            row.append(int(out_left[field_name][lid]))
+                        else:
+                            row.append(int(out_right[field_name][rid]))
+                    rows.append(tuple(row))
+        return QueryResult(kind="rows", rows=rows)
+
+    def _update(self, statement, params):
+        """Number of tuples the UPDATE would touch (evaluated *before* the
+        executor mutates the data)."""
+        table = self.database.table(statement.table)
+        mask = self._mask(table, statement.where, params)
+        return QueryResult(kind="count", count=int(mask.sum()))
+
+
+_FLIP = {">": "<", "<": ">", ">=": "<=", "<=": ">=", "=": "=", "!=": "!="}

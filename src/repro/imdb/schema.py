@@ -1,0 +1,135 @@
+"""Table schemas.
+
+Fields occupy whole 8-byte cells — the access granularity of RC-NVM — so a
+field's width must be a multiple of 8 bytes.  Fields wider than one cell
+are the paper's *wide fields* (Section 5, Figure 14), the case group
+caching exists for.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.geometry import WORD_BYTES
+
+
+@dataclass(frozen=True)
+class Field:
+    """One column of a logical table."""
+
+    name: str
+    nbytes: int = WORD_BYTES
+
+    def __post_init__(self):
+        if self.nbytes <= 0 or self.nbytes % WORD_BYTES:
+            raise LayoutError(
+                f"field {self.name!r}: width {self.nbytes} must be a positive "
+                f"multiple of {WORD_BYTES} bytes"
+            )
+
+    @property
+    def words(self):
+        return self.nbytes // WORD_BYTES
+
+    @property
+    def is_wide(self):
+        return self.words > 1
+
+
+class Schema:
+    """An ordered collection of fields with precomputed cell offsets."""
+
+    def __init__(self, fields):
+        self.fields = []
+        self._by_name = {}
+        self._offsets = {}
+        offset = 0
+        for spec in fields:
+            field = spec if isinstance(spec, Field) else Field(*spec)
+            if field.name in self._by_name:
+                raise LayoutError(f"duplicate field name {field.name!r}")
+            self.fields.append(field)
+            self._by_name[field.name] = field
+            self._offsets[field.name] = offset
+            offset += field.words
+        if not self.fields:
+            raise LayoutError("a schema needs at least one field")
+        self.tuple_words = offset
+
+    def __contains__(self, name):
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __len__(self):
+        return len(self.fields)
+
+    def field(self, name) -> Field:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LayoutError(f"no field named {name!r}") from None
+
+    def offset_words(self, name) -> int:
+        """Cell offset of a field within the tuple."""
+        self.field(name)
+        return self._offsets[name]
+
+    def field_names(self):
+        return [field.name for field in self.fields]
+
+    @property
+    def tuple_bytes(self):
+        return self.tuple_words * WORD_BYTES
+
+    def pack(self, values):
+        """Flatten one logical tuple into its cell (int64 word) sequence.
+
+        Numeric fields take one int; wide fields take either an iterable of
+        ``words`` ints or a single int placed in the first word (remaining
+        words zero), or ``bytes`` (padded, little-endian per word).
+        """
+        if len(values) != len(self.fields):
+            raise LayoutError(
+                f"expected {len(self.fields)} values, got {len(values)}"
+            )
+        words = []
+        for field, value in zip(self.fields, values):
+            words.extend(_pack_field(field, value))
+        return words
+
+    def unpack(self, words):
+        """Inverse of :meth:`pack`: cell sequence -> tuple of field values.
+
+        Wide fields come back as tuples of ints (one per word)."""
+        if len(words) != self.tuple_words:
+            raise LayoutError(f"expected {self.tuple_words} words, got {len(words)}")
+        values = []
+        cursor = 0
+        for field in self.fields:
+            chunk = words[cursor : cursor + field.words]
+            cursor += field.words
+            values.append(tuple(int(w) for w in chunk) if field.is_wide else int(chunk[0]))
+        return tuple(values)
+
+
+def _pack_field(field, value):
+    if isinstance(value, bytes):
+        padded = value.ljust(field.nbytes, b"\0")
+        if len(padded) > field.nbytes:
+            raise LayoutError(
+                f"field {field.name!r}: {len(value)} bytes exceed {field.nbytes}"
+            )
+        return [
+            int.from_bytes(padded[i : i + WORD_BYTES], "little", signed=True)
+            for i in range(0, field.nbytes, WORD_BYTES)
+        ]
+    if isinstance(value, (list, tuple)):
+        if len(value) != field.words:
+            raise LayoutError(
+                f"field {field.name!r}: expected {field.words} words, got {len(value)}"
+            )
+        return [int(v) for v in value]
+    words = [0] * field.words
+    words[0] = int(value)
+    return words

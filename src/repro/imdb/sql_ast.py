@@ -1,0 +1,139 @@
+"""Abstract syntax tree for the SQL subset of the paper's Table 2.
+
+Supported statements::
+
+    SELECT f3, f4 FROM table-a WHERE f10 > x
+    SELECT * FROM table-b WHERE f10 > x
+    SELECT SUM(f9) FROM table-a WHERE f10 > x
+    SELECT a.f3, b.f4 FROM a, b WHERE a.f1 > b.f1 AND a.f9 = b.f9
+    UPDATE table-b SET f3 = x, f4 = y WHERE f10 = z
+
+Parameters (``x`` above) are written as bare identifiers; the planner
+resolves an unqualified identifier to a parameter when it appears in the
+parameter bindings and to a column otherwise.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+COMPARISON_OPS = (">", "<", "=", ">=", "<=", "!=")
+AGGREGATE_FUNCS = ("SUM", "AVG", "COUNT", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly table-qualified column name."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self):
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An integer constant."""
+
+    value: int
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Star:
+    """``SELECT *``."""
+
+    def __str__(self):
+        return "*"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``SUM(f) / AVG(f) / COUNT(f)``."""
+
+    func: str
+    column: ColumnRef
+
+    def __post_init__(self):
+        if self.func not in AGGREGATE_FUNCS:
+            raise ValueError(f"unknown aggregate {self.func!r}")
+
+    def __str__(self):
+        return f"{self.func}({self.column})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right``; operands are ColumnRef or Literal."""
+
+    op: str
+    left: object
+    right: object
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self):
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """``ORDER BY column [ASC|DESC]``."""
+
+    column: ColumnRef
+    descending: bool = False
+
+    def __str__(self):
+        return f"{self.column} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass(frozen=True)
+class Select:
+    """A SELECT over one or two tables with a conjunctive predicate."""
+
+    items: Tuple[object, ...]  # Star | ColumnRef | Aggregate
+    tables: Tuple[str, ...]
+    where: Tuple[Comparison, ...] = ()
+    order_by: Optional[OrderBy] = None
+    limit: Optional[int] = None
+
+    def __str__(self):
+        items = ", ".join(str(i) for i in self.items)
+        sql = f"SELECT {items} FROM {', '.join(self.tables)}"
+        if self.where:
+            sql += " WHERE " + " AND ".join(str(c) for c in self.where)
+        if self.order_by is not None:
+            sql += f" ORDER BY {self.order_by}"
+        if self.limit is not None:
+            sql += f" LIMIT {self.limit}"
+        return sql
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``field = value`` in an UPDATE."""
+
+    column: str
+    value: object  # Literal or ColumnRef (parameter)
+
+    def __str__(self):
+        return f"{self.column} = {self.value}"
+
+
+@dataclass(frozen=True)
+class Update:
+    """An UPDATE with constant assignments and a conjunctive predicate."""
+
+    table: str
+    assignments: Tuple[Assignment, ...]
+    where: Tuple[Comparison, ...] = ()
+
+    def __str__(self):
+        sql = f"UPDATE {self.table} SET " + ", ".join(str(a) for a in self.assignments)
+        if self.where:
+            sql += " WHERE " + " AND ".join(str(c) for c in self.where)
+        return sql

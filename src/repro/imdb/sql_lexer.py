@@ -1,0 +1,69 @@
+"""Tokenizer for the SQL subset.
+
+Identifiers may contain dashes (the paper names its tables ``table-a``,
+``table-b``, ``table-c``), which is unambiguous here because the grammar
+has no arithmetic.  Keywords are case-insensitive.
+"""
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import SqlError
+
+KEYWORDS = frozenset(
+    ("SELECT", "FROM", "WHERE", "AND", "UPDATE", "SET",
+     "SUM", "AVG", "COUNT", "MIN", "MAX",
+     "ORDER", "BY", "ASC", "DESC", "LIMIT")
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<NUMBER>-?\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<OP><=|>=|!=|<>|[<>=])
+  | (?P<STAR>\*)
+  | (?P<COMMA>,)
+  | (?P<DOT>\.)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<SEMI>;)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    position: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}@{self.position})"
+
+
+def tokenize(sql):
+    """Lex a statement into a list of tokens (whitespace dropped,
+    keywords upper-cased into their own kinds, ``<>`` normalized to
+    ``!=``)."""
+    tokens = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SqlError(f"unexpected character {sql[position]!r} at {position}")
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "WS" or kind == "SEMI":
+            position = match.end()
+            continue
+        if kind == "IDENT" and text.upper() in KEYWORDS:
+            kind = text.upper()
+            text = text.upper()
+        if kind == "OP" and text == "<>":
+            text = "!="
+        tokens.append(Token(kind, text, position))
+        position = match.end()
+    tokens.append(Token("EOF", "", len(sql)))
+    return tokens

@@ -1,0 +1,161 @@
+"""Recursive-descent parser for the SQL subset (see sql_ast)."""
+
+from repro.errors import SqlError
+from repro.imdb.sql_ast import (
+    Aggregate,
+    Assignment,
+    ColumnRef,
+    Comparison,
+    Literal,
+    OrderBy,
+    Select,
+    Star,
+    Update,
+)
+from repro.imdb.sql_lexer import tokenize
+
+
+def parse(sql):
+    """Parse one statement into a Select or Update AST node."""
+    return _Parser(sql).statement()
+
+
+class _Parser:
+    def __init__(self, sql):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------
+    @property
+    def current(self):
+        return self.tokens[self.position]
+
+    def advance(self):
+        token = self.current
+        self.position += 1
+        return token
+
+    def expect(self, kind):
+        token = self.current
+        if token.kind != kind:
+            raise SqlError(
+                f"expected {kind} but found {token.kind} ({token.text!r}) "
+                f"at {token.position} in {self.sql!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind):
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    # -- grammar -------------------------------------------------------------
+    def statement(self):
+        if self.current.kind == "SELECT":
+            node = self.select()
+        elif self.current.kind == "UPDATE":
+            node = self.update()
+        else:
+            raise SqlError(f"statement must start with SELECT or UPDATE: {self.sql!r}")
+        self.expect("EOF")
+        return node
+
+    def select(self):
+        self.expect("SELECT")
+        items = self.select_items()
+        self.expect("FROM")
+        tables = [self.expect("IDENT").text]
+        while self.accept("COMMA"):
+            tables.append(self.expect("IDENT").text)
+        where = self.optional_where()
+        order_by = self.optional_order_by()
+        limit = self.optional_limit()
+        return Select(
+            items=tuple(items),
+            tables=tuple(tables),
+            where=where,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def select_items(self):
+        if self.accept("STAR"):
+            return [Star()]
+        items = [self.select_item()]
+        while self.accept("COMMA"):
+            items.append(self.select_item())
+        return items
+
+    def select_item(self):
+        token = self.current
+        if token.kind in ("SUM", "AVG", "COUNT", "MIN", "MAX"):
+            self.advance()
+            self.expect("LPAREN")
+            column = self.column_ref()
+            self.expect("RPAREN")
+            return Aggregate(func=token.kind, column=column)
+        return self.column_ref()
+
+    def column_ref(self):
+        first = self.expect("IDENT").text
+        if self.accept("DOT"):
+            return ColumnRef(name=self.expect("IDENT").text, table=first)
+        return ColumnRef(name=first)
+
+    def update(self):
+        self.expect("UPDATE")
+        table = self.expect("IDENT").text
+        self.expect("SET")
+        assignments = [self.assignment()]
+        while self.accept("COMMA"):
+            assignments.append(self.assignment())
+        where = self.optional_where()
+        return Update(table=table, assignments=tuple(assignments), where=where)
+
+    def assignment(self):
+        column = self.expect("IDENT").text
+        op = self.expect("OP")
+        if op.text != "=":
+            raise SqlError(f"assignments use '=', found {op.text!r}")
+        return Assignment(column=column, value=self.operand())
+
+    def optional_order_by(self):
+        if not self.accept("ORDER"):
+            return None
+        self.expect("BY")
+        column = self.column_ref()
+        descending = False
+        if self.accept("DESC"):
+            descending = True
+        else:
+            self.accept("ASC")
+        return OrderBy(column=column, descending=descending)
+
+    def optional_limit(self):
+        if not self.accept("LIMIT"):
+            return None
+        token = self.expect("NUMBER")
+        limit = int(token.text)
+        if limit < 0:
+            raise SqlError(f"LIMIT must be non-negative, got {limit}")
+        return limit
+
+    def optional_where(self):
+        if not self.accept("WHERE"):
+            return ()
+        comparisons = [self.comparison()]
+        while self.accept("AND"):
+            comparisons.append(self.comparison())
+        return tuple(comparisons)
+
+    def comparison(self):
+        left = self.operand()
+        op = self.expect("OP").text
+        right = self.operand()
+        return Comparison(op=op, left=left, right=right)
+
+    def operand(self):
+        if self.current.kind == "NUMBER":
+            return Literal(int(self.advance().text))
+        return self.column_ref()

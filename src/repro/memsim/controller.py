@@ -1,0 +1,122 @@
+"""Per-channel memory controller with FR-FCFS scheduling.
+
+The controller keeps a bounded request queue (Table 1: 32 entries) and
+services it with the classic first-ready, first-come-first-served policy
+[Rixner et al., ISCA 2000]: among queued requests it first picks one whose
+bank already has the matching buffer entry open (a "ready" request), and
+falls back to the oldest request otherwise.
+
+Scheduling is lazy: requests accumulate until a client asks for a specific
+request's completion time (or the queue overflows), at which point the
+controller schedules queued requests in FR-FCFS order, advancing per-bank
+state and the shared data bus.
+"""
+
+from repro.orientation import Orientation
+from repro.memsim.bank import Bank
+from repro.memsim.stats import MemoryStats
+
+
+class ChannelController:
+    """Owns the banks of one channel plus that channel's data bus."""
+
+    #: Scheduling policies: FR-FCFS (the paper's choice) or plain FCFS
+    #: (ablation baseline; no buffer-hit reordering).
+    POLICIES = ("frfcfs", "fcfs")
+
+    def __init__(self, geometry, timing, supports_column, queue_depth=32,
+                 policy="frfcfs"):
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        self.geometry = geometry
+        self.timing = timing
+        self.supports_column = supports_column
+        self.queue_depth = queue_depth
+        self.policy = policy
+        self.banks = [
+            Bank(timing, supports_column) for _ in range(geometry.ranks * geometry.banks)
+        ]
+        self.pending = []
+        self.bus_free = 0
+        self.stats = MemoryStats()
+
+    # -- client interface --------------------------------------------------
+    def submit(self, req):
+        """Queue a request; may trigger scheduling if the queue is full."""
+        self.pending.append(req)
+        while len(self.pending) > self.queue_depth:
+            self._schedule_one()
+
+    def completion_of(self, req):
+        """Schedule until ``req`` has been serviced; return its completion."""
+        while req.completion is None:
+            if not self.pending:
+                raise LookupError(f"{req!r} was never submitted to this controller")
+            self._schedule_one()
+        return req.completion
+
+    def drain(self):
+        """Service everything still queued; return the last completion time."""
+        last = self.bus_free
+        while self.pending:
+            last = self._schedule_one()
+        return last
+
+    # -- scheduling ---------------------------------------------------------
+    def _bank_of(self, req):
+        return self.banks[req.rank * self.geometry.banks + req.bank]
+
+    def _pick(self):
+        """FR-FCFS: index of the first queued request whose buffer is open
+        (plain FCFS under the ablation policy)."""
+        if self.policy == "frfcfs":
+            for i, req in enumerate(self.pending):
+                if self._bank_of(req).matches(req):
+                    return i
+        return 0
+
+    def _schedule_one(self):
+        idx = self._pick()
+        req = self.pending.pop(idx)
+        bank = self._bank_of(req)
+        stats = self.stats
+        start, data_at = bank.prepare(req, stats)
+        bus_start = max(data_at, self.bus_free)
+        end = bus_start + self.timing.burst_cpu
+        self.bus_free = end
+        req.completion = end
+        # -- statistics
+        if req.is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        if req.orientation is Orientation.COLUMN:
+            stats.col_oriented += 1
+        elif req.orientation is Orientation.GATHER:
+            stats.gathers += 1
+        else:
+            stats.row_oriented += 1
+        stats.bus_busy_cycles += self.timing.burst_cpu
+        stats.total_latency_cycles += end - req.arrival
+        return end
+
+    # -- maintenance ---------------------------------------------------------
+    def flush_all(self, now=0):
+        """Close every open buffer (e.g. between benchmark phases)."""
+        for bank in self.banks:
+            now = max(now, bank.flush(self.stats, now))
+        return now
+
+    def reset(self):
+        self.pending.clear()
+        self.bus_free = 0
+        self.stats = MemoryStats()
+        for bank in self.banks:
+            bank.open_kind = None
+            bank.open_subarray = None
+            bank.open_index = None
+            bank.dirty = False
+            bank.ready_at = 0
+            bank.activated_at = 0
+            bank.accesses = 0
+            bank.activations = 0

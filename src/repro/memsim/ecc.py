@@ -1,0 +1,243 @@
+"""SECDED ECC for the memory system (paper Section 4.1).
+
+"The most common error correcting code (ECC), a single-error correction
+and double-error detection (SECDED) Hamming code can be easily deployed
+by adding one extra chip in each rank.  Thus, the memory bus becomes
+72-bit like common DRAM with ECC."
+
+This module implements that (72, 64) extended Hamming code and an
+:class:`EccStore` that wraps the functional memory with per-cell check
+bits, fault injection, and scrubbing — so reliability experiments can
+run against the same simulated memory the database uses.
+
+Codeword layout (1-indexed positions, classic extended Hamming):
+position 0 holds the overall parity; positions that are powers of two
+(1, 2, 4, ..., 64) hold the Hamming parity bits; the remaining 64
+positions hold the data bits in order.
+"""
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+DATA_BITS = 64
+PARITY_BITS = 7  # Hamming parities for 64 data bits in 71 positions
+CODEWORD_BITS = 72  # 64 data + 7 Hamming + 1 overall parity
+
+#: Codeword positions (1-indexed) holding data bits, in data-bit order.
+_DATA_POSITIONS = [p for p in range(1, CODEWORD_BITS) if p & (p - 1)]
+assert len(_DATA_POSITIONS) == DATA_BITS
+
+_PARITY_POSITIONS = [1 << i for i in range(PARITY_BITS)]
+
+
+class EccStatus(enum.Enum):
+    """Outcome of decoding one codeword."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED = "detected"  # uncorrectable (double-bit) error
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    data: int
+    status: EccStatus
+    corrected_position: int = -1  # codeword position fixed (if CORRECTED)
+
+
+class UncorrectableError(ReproError):
+    """Raised by :class:`EccStore` when a read hits a double-bit error."""
+
+
+def encode(data: int) -> int:
+    """Encode a 64-bit word into a 72-bit SECDED codeword."""
+    if not 0 <= data < (1 << DATA_BITS):
+        raise ValueError("data must be an unsigned 64-bit value")
+    codeword = 0
+    for i, position in enumerate(_DATA_POSITIONS):
+        if data >> i & 1:
+            codeword |= 1 << position
+    # Hamming parity bits: parity p covers positions with bit p set.
+    for parity_position in _PARITY_POSITIONS:
+        parity = 0
+        probe = codeword
+        position = 0
+        while probe:
+            if probe & 1 and (position & parity_position):
+                parity ^= 1
+            probe >>= 1
+            position += 1
+        if parity:
+            codeword |= 1 << parity_position
+    # Overall parity (position 0) makes total parity even.
+    if bin(codeword).count("1") & 1:
+        codeword |= 1
+    return codeword
+
+
+def _syndrome(codeword: int) -> int:
+    syndrome = 0
+    probe = codeword >> 1  # skip the overall parity position
+    position = 1
+    while probe:
+        if probe & 1:
+            syndrome ^= position
+        probe >>= 1
+        position += 1
+    return syndrome
+
+
+def _extract(codeword: int) -> int:
+    data = 0
+    for i, position in enumerate(_DATA_POSITIONS):
+        if codeword >> position & 1:
+            data |= 1 << i
+    return data
+
+
+def decode(codeword: int) -> DecodeResult:
+    """Decode a codeword, correcting one flipped bit and detecting two."""
+    syndrome = _syndrome(codeword)
+    overall_even = bin(codeword).count("1") % 2 == 0
+    if syndrome == 0 and overall_even:
+        return DecodeResult(_extract(codeword), EccStatus.CLEAN)
+    if syndrome == 0 and not overall_even:
+        # The overall parity bit itself flipped.
+        return DecodeResult(_extract(codeword), EccStatus.CORRECTED, 0)
+    if not overall_even:
+        # Single-bit error at the syndrome's position.
+        if syndrome >= CODEWORD_BITS:
+            return DecodeResult(_extract(codeword), EccStatus.DETECTED)
+        fixed = codeword ^ (1 << syndrome)
+        return DecodeResult(_extract(fixed), EccStatus.CORRECTED, syndrome)
+    # Non-zero syndrome with even overall parity: double-bit error.
+    return DecodeResult(_extract(codeword), EccStatus.DETECTED)
+
+
+def flip_bit(codeword: int, position: int) -> int:
+    """Flip one codeword bit (fault injection)."""
+    if not 0 <= position < CODEWORD_BITS:
+        raise ValueError(f"position {position} outside [0, {CODEWORD_BITS})")
+    return codeword ^ (1 << position)
+
+
+def pack_parity(codeword: int) -> int:
+    """Extract the 8 parity bits of a codeword into one byte: bit 0 is
+    the overall parity (position 0), bit 1+i is Hamming parity 2^i —
+    the byte the ECC chip stores per 64-bit word."""
+    byte = codeword & 1
+    for i, position in enumerate(_PARITY_POSITIONS):
+        if codeword >> position & 1:
+            byte |= 1 << (i + 1)
+    return byte
+
+
+def unpack(data: int, parity_byte: int) -> int:
+    """Rebuild the 72-bit codeword from stored data + parity byte."""
+    codeword = parity_byte & 1
+    for i, position in enumerate(_PARITY_POSITIONS):
+        if parity_byte >> (i + 1) & 1:
+            codeword |= 1 << position
+    for i, position in enumerate(_DATA_POSITIONS):
+        if data >> i & 1:
+            codeword |= 1 << position
+    return codeword
+
+
+@dataclass
+class EccStats:
+    reads: int = 0
+    writes: int = 0
+    corrected: int = 0
+    detected: int = 0
+
+    def snapshot(self):
+        return dict(vars(self))
+
+
+class EccStore:
+    """SECDED-protected view of a :class:`~repro.imdb.physmem.PhysicalMemory`.
+
+    Check bits are kept in shadow arrays (the "extra chip in each rank");
+    every protected write re-encodes the cell, every protected read
+    verifies, silently correcting single-bit faults and raising
+    :class:`UncorrectableError` on double-bit faults.  Faults are
+    injected per cell with :meth:`inject_fault`.
+    """
+
+    def __init__(self, physmem):
+        self.physmem = physmem
+        self._check_bits = {}
+        self.stats = EccStats()
+
+    def _checks(self, subarray_index) -> np.ndarray:
+        checks = self._check_bits.get(subarray_index)
+        if checks is None:
+            g = self.physmem.geometry
+            checks = np.zeros((g.rows, g.cols), dtype=np.int16)
+            # Lazily encode whatever data is already present.
+            grid = self.physmem.subarray(subarray_index)
+            for row, col in np.argwhere(grid != 0):
+                word = int(np.uint64(grid[row, col]))
+                checks[row, col] = pack_parity(encode(word))
+            self._check_bits[subarray_index] = checks
+        return checks
+
+    def write(self, subarray_index, row, col, value):
+        self.stats.writes += 1
+        self.physmem.write_cell(subarray_index, row, col, value)
+        word = int(np.uint64(np.int64(value)))
+        self._checks(subarray_index)[row, col] = pack_parity(encode(word))
+
+    def read(self, subarray_index, row, col) -> int:
+        self.stats.reads += 1
+        raw = self.physmem.read_cell(subarray_index, row, col)
+        word = int(np.uint64(np.int64(raw)))
+        parity_byte = int(self._checks(subarray_index)[row, col]) & 0xFF
+        result = decode(unpack(word, parity_byte))
+        if result.status is EccStatus.DETECTED:
+            self.stats.detected += 1
+            raise UncorrectableError(
+                f"double-bit error at subarray {subarray_index} "
+                f"({row}, {col})"
+            )
+        if result.status is EccStatus.CORRECTED:
+            self.stats.corrected += 1
+            corrected = np.int64(np.uint64(result.data))
+            self.physmem.write_cell(subarray_index, row, col, corrected)
+            self._checks(subarray_index)[row, col] = pack_parity(
+                encode(result.data)
+            )
+        return int(np.int64(np.uint64(result.data)))
+
+    def inject_fault(self, subarray_index, row, col, bit):
+        """Flip codeword bit ``bit`` (0-71) of one cell in place."""
+        raw = self.physmem.read_cell(subarray_index, row, col)
+        word = int(np.uint64(np.int64(raw)))
+        parity_byte = int(self._checks(subarray_index)[row, col]) & 0xFF
+        flipped = flip_bit(unpack(word, parity_byte), bit)
+        self._checks(subarray_index)[row, col] = pack_parity(flipped)
+        self.physmem.write_cell(
+            subarray_index, row, col, np.int64(np.uint64(_extract(flipped)))
+        )
+
+    def scrub(self, subarray_index):
+        """Sweep one subarray, correcting latent single-bit faults.
+
+        Returns ``(corrected, detected)`` counts; detected (double-bit)
+        cells are left untouched for higher-level recovery."""
+        corrected = 0
+        detected = 0
+        g = self.physmem.geometry
+        for row in range(g.rows):
+            for col in range(g.cols):
+                try:
+                    self.read(subarray_index, row, col)
+                except UncorrectableError:
+                    detected += 1
+        corrected = self.stats.corrected
+        return corrected, detected

@@ -1,0 +1,131 @@
+"""Memory energy model (extension beyond the paper's evaluation).
+
+The paper evaluates performance and area; energy is the third axis any
+NVM-vs-DRAM comparison eventually needs, and the simulator already
+counts every event that consumes it.  This model prices those events
+with representative literature values (documented per constant):
+
+* **activation** — reading one row (or column) of the array into its
+  buffer.  Cheap for DRAM sensing, expensive for NVM (per-bit read
+  current over an 8 KB buffer);
+* **buffer flush** — writing a dirty buffer back.  Free for DRAM (the
+  restore is part of tRAS) but the dominant cost for NVM, whose SET/
+  RESET pulses burn tens of pJ per bit;
+* **burst** — moving 64 bytes across the channel I/O;
+* **static** — background power integrated over the run.  Non-volatile
+  cells need no refresh and almost no standby power, which is where NVM
+  wins back what its writes cost.
+
+Energies in nanojoules, power in watts.
+"""
+
+from dataclasses import dataclass
+
+from repro.memsim.timing import CPU_FREQ_HZ
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy costs for one device."""
+
+    name: str
+    activate_nj: float  # per row/column activation
+    flush_nj: float  # per dirty-buffer write-back (NVM write pulse)
+    burst_read_nj: float  # per 64-byte read transfer
+    burst_write_nj: float  # per 64-byte write transfer
+    static_w: float  # background power of the whole module
+
+
+#: DDR3 module: sensing a 2 KB row ~2 nJ; refresh + peripheral standby
+#: dominate background power (~1 W for 4 GB with refresh).
+DRAM_ENERGY = EnergyModel(
+    name="DRAM",
+    activate_nj=2.0,
+    flush_nj=0.0,
+    burst_read_nj=1.0,
+    burst_write_nj=1.0,
+    static_w=1.0,
+)
+
+#: Crossbar RRAM: reading an 8 KB buffer at ~0.5 pJ/bit ~= 33 nJ per
+#: activation; flushing a dirty buffer at ~1 pJ/bit ~= 66 nJ; no
+#: refresh, negligible standby.
+RRAM_ENERGY = EnergyModel(
+    name="RRAM",
+    activate_nj=33.0,
+    flush_nj=66.0,
+    burst_read_nj=1.2,
+    burst_write_nj=1.2,
+    static_w=0.05,
+)
+
+#: RC-NVM pays the Figure 5 overhead on its array operations (longer
+#: lines, extra multiplexers) — ~15% at the paper's design point.
+RCNVM_ENERGY = EnergyModel(
+    name="RC-NVM",
+    activate_nj=33.0 * 1.15,
+    flush_nj=66.0 * 1.15,
+    burst_read_nj=1.2,
+    burst_write_nj=1.2,
+    static_w=0.055,
+)
+
+MODELS = {
+    "DRAM": DRAM_ENERGY,
+    "GS-DRAM": DRAM_ENERGY,
+    "RRAM": RRAM_ENERGY,
+    "RC-NVM": RCNVM_ENERGY,
+}
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy consumed by one run, in nanojoules."""
+
+    activation_nj: float
+    flush_nj: float
+    read_nj: float
+    write_nj: float
+    static_nj: float
+
+    @property
+    def dynamic_nj(self):
+        return self.activation_nj + self.flush_nj + self.read_nj + self.write_nj
+
+    @property
+    def total_nj(self):
+        return self.dynamic_nj + self.static_nj
+
+    @property
+    def total_uj(self):
+        return self.total_nj / 1000.0
+
+    def snapshot(self):
+        return {
+            "activation_nj": self.activation_nj,
+            "flush_nj": self.flush_nj,
+            "read_nj": self.read_nj,
+            "write_nj": self.write_nj,
+            "static_nj": self.static_nj,
+            "dynamic_nj": self.dynamic_nj,
+            "total_nj": self.total_nj,
+        }
+
+
+def energy_of(model: EnergyModel, memory_stats, cycles) -> EnergyBreakdown:
+    """Price one run: ``memory_stats`` is a MemoryStats (or its snapshot
+    dict), ``cycles`` the run's CPU-cycle duration."""
+    stats = memory_stats if isinstance(memory_stats, dict) else memory_stats.snapshot()
+    seconds = cycles / CPU_FREQ_HZ
+    return EnergyBreakdown(
+        activation_nj=model.activate_nj * stats["activations"],
+        flush_nj=model.flush_nj * stats["dirty_flushes"],
+        read_nj=model.burst_read_nj * stats["reads"],
+        write_nj=model.burst_write_nj * stats["writes"],
+        static_nj=model.static_w * seconds * 1e9,
+    )
+
+
+def energy_of_run(system_name, run_result) -> EnergyBreakdown:
+    """Convenience: price a machine RunResult for a named system."""
+    return energy_of(MODELS[system_name], run_result.memory, run_result.cycles)

@@ -1,0 +1,67 @@
+"""Memory requests exchanged between the cache hierarchy and controllers."""
+
+import itertools
+
+from repro.orientation import Orientation
+
+_request_ids = itertools.count()
+
+
+class MemRequest:
+    """One 64-byte transfer between the LLC and a memory device.
+
+    Coordinates are pre-decoded so the controller's hot path never touches
+    the address mapper.  ``row`` and ``col`` identify the *buffer entry* the
+    request needs: for a row-oriented access the open row (``row``) must
+    match; for a column-oriented access the open column (``col``) must
+    match.  GS-DRAM gathers are row-oriented at the device level.
+    """
+
+    __slots__ = (
+        "req_id",
+        "channel",
+        "rank",
+        "bank",
+        "subarray",
+        "row",
+        "col",
+        "orientation",
+        "is_write",
+        "arrival",
+        "completion",
+    )
+
+    def __init__(self, channel, rank, bank, subarray, row, col, orientation, is_write, arrival):
+        self.req_id = next(_request_ids)
+        self.channel = channel
+        self.rank = rank
+        self.bank = bank
+        self.subarray = subarray
+        self.row = row
+        self.col = col
+        self.orientation = orientation
+        self.is_write = is_write
+        self.arrival = arrival
+        self.completion = None
+
+    @property
+    def buffer_kind(self):
+        """Which bank buffer this request wants: ROW or COLUMN."""
+        if self.orientation is Orientation.COLUMN:
+            return Orientation.COLUMN
+        return Orientation.ROW
+
+    @property
+    def buffer_index(self):
+        """Index of the buffer entry within the subarray (row id or col id)."""
+        if self.orientation is Orientation.COLUMN:
+            return self.col
+        return self.row
+
+    def __repr__(self):
+        kind = "W" if self.is_write else "R"
+        return (
+            f"MemRequest(#{self.req_id} {kind} {self.orientation.name} "
+            f"ch{self.channel} rk{self.rank} bk{self.bank} sa{self.subarray} "
+            f"r{self.row} c{self.col} @{self.arrival})"
+        )

@@ -1,0 +1,82 @@
+"""Statistics counters for the memory system."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MemoryStats:
+    """Aggregated counters for one controller (or a whole memory system)."""
+
+    reads: int = 0
+    writes: int = 0
+    #: Requests served from an already-open, matching buffer.
+    buffer_hits: int = 0
+    #: Requests to a bank with no open buffer (activation only).
+    buffer_empty_misses: int = 0
+    #: Requests that had to close a different open buffer first.
+    buffer_conflicts: int = 0
+    #: Subset of conflicts caused by a row<->column orientation switch
+    #: (RC-NVM only): the active buffer must be flushed and the bank
+    #: reopened (Section 3).
+    orientation_switches: int = 0
+    #: Dirty-buffer flushes that paid the NVM write pulse.
+    dirty_flushes: int = 0
+    activations: int = 0
+    #: CPU cycles the data bus was transferring bursts.
+    bus_busy_cycles: int = 0
+    #: Total CPU cycles requests spent queued + in service.
+    total_latency_cycles: int = 0
+    #: Per-orientation request counts.
+    row_oriented: int = 0
+    col_oriented: int = 0
+    gathers: int = 0
+
+    @property
+    def accesses(self):
+        return self.reads + self.writes
+
+    @property
+    def buffer_misses(self):
+        return self.buffer_empty_misses + self.buffer_conflicts
+
+    @property
+    def buffer_miss_rate(self):
+        """Combined row-/column-buffer miss rate (paper Figure 20)."""
+        if not self.accesses:
+            return 0.0
+        return self.buffer_misses / self.accesses
+
+    @property
+    def buffer_hit_rate(self):
+        if not self.accesses:
+            return 0.0
+        return self.buffer_hits / self.accesses
+
+    @property
+    def average_latency(self):
+        if not self.accesses:
+            return 0.0
+        return self.total_latency_cycles / self.accesses
+
+    def merge(self, other: "MemoryStats") -> "MemoryStats":
+        """Return the element-wise sum of two stat blocks."""
+        merged = MemoryStats()
+        for name in vars(self):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+    def snapshot(self) -> dict:
+        data = dict(vars(self))
+        data["accesses"] = self.accesses
+        data["buffer_miss_rate"] = self.buffer_miss_rate
+        data["average_latency"] = self.average_latency
+        return data
+
+
+@dataclass
+class BankStats:
+    """Optional per-bank counters (enabled for detailed experiments)."""
+
+    accesses: int = 0
+    activations: int = 0
+    busy_cycles: int = 0

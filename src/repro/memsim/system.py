@@ -1,0 +1,178 @@
+"""Top-level memory system model.
+
+A :class:`MemorySystem` bundles a geometry, a device timing model, and one
+:class:`~repro.memsim.controller.ChannelController` per channel, and exposes
+the request interface used by the cache hierarchy.  Capability flags select
+the paper's four evaluated systems:
+
+===========  ================  ================
+system       supports_column   supports_gather
+===========  ================  ================
+DRAM         no                no
+RRAM         no                no
+GS-DRAM      no                yes
+RC-NVM       yes               no
+===========  ================  ================
+"""
+
+from repro.core.addressing import AddressMapper, Coordinate
+from repro.orientation import Orientation
+from repro.errors import CapabilityError
+from repro.memsim import timing as timings
+from repro.geometry import (
+    DRAM_GEOMETRY,
+    RCNVM_GEOMETRY,
+    SMALL_DRAM_GEOMETRY,
+    SMALL_RCNVM_GEOMETRY,
+    Geometry,
+)
+from repro.memsim.controller import ChannelController
+from repro.memsim.request import MemRequest
+from repro.memsim.stats import MemoryStats
+
+
+class MemorySystem:
+    """One simulated main memory (all channels)."""
+
+    def __init__(
+        self,
+        name,
+        geometry: Geometry,
+        timing,
+        supports_column=False,
+        supports_gather=False,
+        queue_depth=32,
+        policy="frfcfs",
+    ):
+        self.name = name
+        self.geometry = geometry
+        self.timing = timing
+        self.supports_column = supports_column
+        self.supports_gather = supports_gather
+        self.mapper = AddressMapper(geometry)
+        self.controllers = [
+            ChannelController(geometry, timing, supports_column, queue_depth, policy)
+            for _ in range(geometry.channels)
+        ]
+
+    # -- request construction ------------------------------------------------
+    def request_for_coord(self, coord: Coordinate, orientation, is_write, arrival):
+        """Build and submit a request for the line containing ``coord``."""
+        if orientation is Orientation.COLUMN and not self.supports_column:
+            raise CapabilityError(f"{self.name} does not support column accesses")
+        if orientation is Orientation.GATHER and not self.supports_gather:
+            raise CapabilityError(f"{self.name} does not support gathered accesses")
+        req = MemRequest(
+            channel=coord.channel,
+            rank=coord.rank,
+            bank=coord.bank,
+            subarray=coord.subarray,
+            row=coord.row,
+            col=coord.col,
+            orientation=orientation,
+            is_write=is_write,
+            arrival=arrival,
+        )
+        self.controllers[coord.channel].submit(req)
+        return req
+
+    def request_for_line(self, line_address, orientation, is_write, arrival):
+        """Build and submit a request for a 64-byte line address.
+
+        ``line_address`` is a byte address in the given orientation's
+        address space; GS-DRAM gathers must use :meth:`request_for_coord`
+        because their synthetic addresses do not decode.
+        """
+        decode_as = Orientation.ROW if orientation is not Orientation.COLUMN else orientation
+        coord = self.mapper.decode(line_address, decode_as)
+        return self.request_for_coord(coord, orientation, is_write, arrival)
+
+    # -- completion ------------------------------------------------------------
+    def completion_of(self, req):
+        return self.controllers[req.channel].completion_of(req)
+
+    def access(self, coord, orientation, is_write, arrival):
+        """Submit a request and immediately resolve its completion time."""
+        req = self.request_for_coord(coord, orientation, is_write, arrival)
+        return self.completion_of(req)
+
+    def drain(self):
+        """Finish all queued requests; return the last completion time."""
+        return max(ctrl.drain() for ctrl in self.controllers)
+
+    def flush_buffers(self, now=0):
+        for ctrl in self.controllers:
+            now = max(now, ctrl.flush_all(now))
+        return now
+
+    def reset(self):
+        for ctrl in self.controllers:
+            ctrl.reset()
+
+    # -- statistics ---------------------------------------------------------
+    @property
+    def stats(self) -> MemoryStats:
+        merged = MemoryStats()
+        for ctrl in self.controllers:
+            merged = merged.merge(ctrl.stats)
+        return merged
+
+    def __repr__(self):
+        return f"MemorySystem({self.name}, {self.geometry.total_bytes >> 20} MiB)"
+
+
+# -- factory functions for the paper's four systems ---------------------------
+
+def make_dram(geometry=None, queue_depth=32, policy="frfcfs"):
+    """Conventional DDR3-1333 DRAM (Table 1)."""
+    return MemorySystem(
+        "DRAM",
+        geometry or DRAM_GEOMETRY,
+        timings.DDR3_1333_DRAM,
+        queue_depth=queue_depth,
+        policy=policy,
+    )
+
+
+def make_rram(geometry=None, queue_depth=32, timing=None, policy="frfcfs"):
+    """Conventional crossbar RRAM without the column-access periphery."""
+    return MemorySystem(
+        "RRAM",
+        geometry or RCNVM_GEOMETRY,
+        timing or timings.LPDDR3_800_RRAM,
+        queue_depth=queue_depth,
+        policy=policy,
+    )
+
+
+def make_rcnvm(geometry=None, queue_depth=32, timing=None, policy="frfcfs"):
+    """RC-NVM: RRAM with dual addressing and a column buffer per bank."""
+    return MemorySystem(
+        "RC-NVM",
+        geometry or RCNVM_GEOMETRY,
+        timing or timings.LPDDR3_800_RCNVM,
+        supports_column=True,
+        queue_depth=queue_depth,
+        policy=policy,
+    )
+
+
+def make_gsdram(geometry=None, queue_depth=32, policy="frfcfs"):
+    """GS-DRAM baseline [Seshadri et al., MICRO 2015]: DRAM whose chips can
+    gather one 8-byte field from 8 tuples resident in a single open row."""
+    return MemorySystem(
+        "GS-DRAM",
+        geometry or DRAM_GEOMETRY,
+        timings.DDR3_1333_DRAM,
+        supports_gather=True,
+        queue_depth=queue_depth,
+        policy=policy,
+    )
+
+
+def make_small_dram(**kwargs):
+    return make_dram(SMALL_DRAM_GEOMETRY, **kwargs)
+
+
+def make_small_rcnvm(**kwargs):
+    return make_rcnvm(SMALL_RCNVM_GEOMETRY, **kwargs)

@@ -1,0 +1,139 @@
+"""Device timing models (paper Table 1).
+
+All raw parameters are expressed in *memory bus clock cycles* of the
+device's own interface (DDR3-1333 for DRAM, LPDDR3-800 for RRAM/RC-NVM)
+and converted to CPU cycles of the simulated 2 GHz cores through
+``clock_ratio``.  Non-volatile cells have no destructive read, so
+``tRAS = 0`` and precharge is nearly free (``tRP = 1``); writing the cell
+array costs a separate write pulse paid when a dirty buffer is flushed.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+CPU_FREQ_HZ = 2_000_000_000
+"""Simulated core frequency (Table 1: 4 cores, x86, 2.0 GHz)."""
+
+#: 64-byte burst over a 64-bit DDR bus takes BL/2 = 4 interface clocks.
+BURST_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class DeviceTiming:
+    """Timing parameters of one memory device, in interface clock cycles."""
+
+    name: str
+    clock_ratio: float  # CPU cycles per interface clock cycle
+    t_cas: int
+    t_rcd: int
+    t_rp: int
+    t_ras: int
+    burst: int = BURST_CYCLES
+    #: Extra cycles to write the cell array when a dirty buffer is flushed
+    #: (NVM write pulse).  Zero for DRAM, whose restore is covered by tRAS.
+    write_pulse: int = 0
+    #: Extra activation cycles modelling RC-NVM's longer critical path
+    #: through the dual-decoding multiplexers (Figure 5; folded into tRCD in
+    #: Table 1, kept separate here so sensitivity sweeps can scale it).
+    notes: str = ""
+
+    def __post_init__(self):
+        if self.clock_ratio <= 0:
+            raise ConfigurationError("clock_ratio must be positive")
+        for attr in ("t_cas", "t_rcd", "t_rp", "t_ras", "burst", "write_pulse"):
+            if getattr(self, attr) < 0:
+                raise ConfigurationError(f"{attr} must be non-negative")
+
+    # -- CPU-cycle views ---------------------------------------------------
+    def cpu(self, interface_cycles):
+        """Convert interface cycles to (integer) CPU cycles."""
+        return int(round(interface_cycles * self.clock_ratio))
+
+    @property
+    def cas_cpu(self):
+        return self.cpu(self.t_cas)
+
+    @property
+    def rcd_cpu(self):
+        return self.cpu(self.t_rcd)
+
+    @property
+    def rp_cpu(self):
+        return self.cpu(self.t_rp)
+
+    @property
+    def ras_cpu(self):
+        return self.cpu(self.t_ras)
+
+    @property
+    def burst_cpu(self):
+        return self.cpu(self.burst)
+
+    @property
+    def write_pulse_cpu(self):
+        return self.cpu(self.write_pulse)
+
+    @property
+    def interface_ns(self):
+        """Duration of one interface clock in nanoseconds."""
+        return self.clock_ratio / CPU_FREQ_HZ * 1e9
+
+    def scaled(self, read_ns, write_ns):
+        """Return a copy with the array read/write latencies replaced.
+
+        Used by the Figure 22 sensitivity sweep: the array read latency is
+        modelled by tRCD (activation reads the array into a buffer) and the
+        array write latency by the write pulse.
+        """
+        t_rcd = max(1, int(round(read_ns / self.interface_ns)))
+        pulse = max(0, int(round(write_ns / self.interface_ns)))
+        return DeviceTiming(
+            name=f"{self.name}@{read_ns:g}ns/{write_ns:g}ns",
+            clock_ratio=self.clock_ratio,
+            t_cas=self.t_cas,
+            t_rcd=t_rcd,
+            t_rp=self.t_rp,
+            t_ras=self.t_ras,
+            burst=self.burst,
+            write_pulse=pulse,
+            notes=self.notes,
+        )
+
+
+#: DDR3-1333: 666.67 MHz interface, 2 GHz core -> 3 CPU cycles per clock.
+DDR3_1333_DRAM = DeviceTiming(
+    name="DDR3-1333 DRAM",
+    clock_ratio=3.0,
+    t_cas=10,
+    t_rcd=9,
+    t_rp=9,
+    t_ras=24,
+    notes="Table 1: access time ~14 ns, row buffer 2 KB",
+)
+
+#: LPDDR3-800: 400 MHz interface, 2 GHz core -> 5 CPU cycles per clock.
+LPDDR3_800_RRAM = DeviceTiming(
+    name="LPDDR3-800 RRAM",
+    clock_ratio=5.0,
+    t_cas=6,
+    t_rcd=10,
+    t_rp=1,
+    t_ras=0,
+    write_pulse=4,  # 10 ns write pulse
+    notes="Table 1: read access ~25 ns, write pulse 10 ns",
+)
+
+#: RC-NVM pays ~15% longer array access than plain RRAM for the extra
+#: multiplexing on the critical path (Section 3, Figure 5): tRCD 12 vs 10
+#: (29 ns read) and a 15 ns write pulse.
+LPDDR3_800_RCNVM = DeviceTiming(
+    name="LPDDR3-800 RC-NVM",
+    clock_ratio=5.0,
+    t_cas=6,
+    t_rcd=12,
+    t_rp=1,
+    t_ras=0,
+    write_pulse=6,  # 15 ns write pulse
+    notes="Table 1: read access ~29 ns, write pulse 15 ns, row+column buffers",
+)

@@ -1,0 +1,65 @@
+"""Benchmark workloads: the paper's tables, queries, and micro-kernels."""
+
+from repro.workloads.datagen import generate_packed, populate, selectivity_of
+from repro.workloads.microbench import (
+    KERNELS,
+    MICRO_SYSTEMS,
+    Kernel,
+    build_micro_database,
+    emit_kernel,
+    run_kernel,
+    run_microbench,
+)
+from repro.workloads.queries import (
+    ALL_IDS,
+    GROUP_CACHING_IDS,
+    QUERIES,
+    QuerySpec,
+    SQL_BENCHMARK_IDS,
+    query,
+    query_list,
+)
+from repro.workloads.suite import (
+    BASE_TUPLES,
+    build_benchmark_database,
+    default_layout,
+)
+from repro.workloads.tables import (
+    ALL_TABLES,
+    TABLE_A,
+    TABLE_B,
+    TABLE_C,
+    table_a_fields,
+    table_b_fields,
+    table_c_fields,
+)
+
+__all__ = [
+    "ALL_IDS",
+    "ALL_TABLES",
+    "BASE_TUPLES",
+    "GROUP_CACHING_IDS",
+    "KERNELS",
+    "Kernel",
+    "MICRO_SYSTEMS",
+    "QUERIES",
+    "QuerySpec",
+    "SQL_BENCHMARK_IDS",
+    "TABLE_A",
+    "TABLE_B",
+    "TABLE_C",
+    "build_benchmark_database",
+    "build_micro_database",
+    "default_layout",
+    "emit_kernel",
+    "generate_packed",
+    "populate",
+    "query",
+    "query_list",
+    "run_kernel",
+    "run_microbench",
+    "selectivity_of",
+    "table_a_fields",
+    "table_b_fields",
+    "table_c_fields",
+]

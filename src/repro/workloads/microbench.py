@@ -1,0 +1,132 @@
+"""Figure 17's micro-benchmarks.
+
+Eight kernels scan one table with identical read or write operations:
+
+* direction ``row``: touch every tuple, tuple by tuple, with row-oriented
+  accesses;
+* direction ``col``: touch the table field by field (for each field, all
+  tuples) — column-oriented accesses on RC-NVM, strided row-oriented
+  accesses on conventional memory;
+* layout ``L1``: row-oriented intra-chunk layout (Figure 13a);
+* layout ``L2``: column-oriented intra-chunk layout (Figure 13b).
+
+Conventional RRAM and DRAM only have row-oriented accesses for both
+directions; RC-NVM uses the matching access direction.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import WORD_BYTES
+from repro.imdb.chunks import IntraLayout
+from repro.imdb.database import Database
+from repro.imdb.planner import ScanMethod
+from repro.memsim.system import make_dram, make_rcnvm, make_rram
+
+MICRO_TABLE = "micro"
+KERNELS = (
+    "row-read-L1",
+    "row-write-L1",
+    "row-read-L2",
+    "row-write-L2",
+    "col-read-L1",
+    "col-write-L1",
+    "col-read-L2",
+    "col-write-L2",
+)
+MICRO_SYSTEMS = ("RC-NVM", "RRAM", "DRAM")
+
+_FACTORIES = {
+    "RC-NVM": make_rcnvm,
+    "RRAM": make_rram,
+    "DRAM": make_dram,
+}
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """Parsed kernel name."""
+
+    direction: str  # "row" | "col"
+    write: bool
+    layout: IntraLayout
+
+    @staticmethod
+    def parse(name):
+        direction, op, layout = name.split("-")
+        return Kernel(
+            direction=direction,
+            write=op == "write",
+            layout=IntraLayout.ROW if layout == "L1" else IntraLayout.COLUMN,
+        )
+
+
+def build_micro_database(memory, layout, n_tuples=4096, n_fields=8, cache_config=None):
+    """A database holding the micro-benchmark table in the given layout."""
+    db = Database(memory, cache_config=cache_config)
+    table = db.create_table(
+        MICRO_TABLE, [(f"f{i}", WORD_BYTES) for i in range(1, n_fields + 1)], layout
+    )
+    rng = np.random.default_rng(0x17)
+    table.insert_packed(
+        rng.integers(0, 1 << 20, size=(n_tuples, n_fields), dtype=np.int64)
+    )
+    return db, table
+
+
+def emit_kernel(db, table, kernel: Kernel):
+    """Build the kernel's trace (in tuple or field-major order)."""
+    executor = db.executor
+    trace = []
+    if kernel.direction == "row":
+        for index in range(table.n_tuples):
+            run = table.tuple_run(index)
+            executor.emit_run(trace, run, write=kernel.write, gap=1)
+    else:
+        method = ScanMethod.COLUMN if db.memory.supports_column else ScanMethod.ROW
+        for field in table.schema.fields:
+            if method is ScanMethod.COLUMN:
+                for run in table.field_runs(field.name):
+                    executor.emit_run(trace, run, write=kernel.write)
+            else:
+                # Conventional memory: strided row-oriented accesses (reads
+                # and writes alike touch the line holding the field word).
+                start = len(trace)
+                executor.emit_rowwise_field_scan(trace, table, [(field.name, 0)])
+                if kernel.write:
+                    for access in trace[start:]:
+                        access.op = _as_write(access.op)
+    return trace
+
+
+def _as_write(op):
+    from repro.cpu.trace import Op
+
+    return {Op.READ: Op.WRITE, Op.CREAD: Op.CWRITE}.get(op, op)
+
+
+def run_kernel(system_name, kernel_name, n_tuples=4096, n_fields=8, cache_config=None):
+    """Run one kernel on one system; returns the RunResult."""
+    kernel = Kernel.parse(kernel_name)
+    memory = _FACTORIES[system_name]()
+    db, table = build_micro_database(
+        memory, kernel.layout, n_tuples, n_fields, cache_config
+    )
+    trace = emit_kernel(db, table, kernel)
+    db.reset_timing()
+    return db.machine.run(trace)
+
+
+def run_microbench(
+    systems=MICRO_SYSTEMS, kernels=KERNELS, n_tuples=4096, n_fields=8, cache_config=None
+):
+    """Figure 17's full grid: {kernel: {system: RunResult}}."""
+    results = {}
+    for kernel_name in kernels:
+        results[kernel_name] = {}
+        for system_name in systems:
+            results[kernel_name][system_name] = run_kernel(
+                system_name, kernel_name, n_tuples, n_fields, cache_config
+            )
+    return results

@@ -1,0 +1,151 @@
+"""The paper's benchmark queries (Table 2), fully parameterized.
+
+Q1-Q3, Q8-Q13 are "typical OLTP queries", Q4-Q7 OLAP-style aggregates,
+and Q14/Q15 exercise the group-caching optimization (Section 5).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.workloads.tables import TABLE_A, TABLE_B, TABLE_C
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One benchmark query plus its parameter bindings."""
+
+    qid: str
+    sql: str
+    params: Dict[str, int] = field(default_factory=dict)
+    tables: Tuple[str, ...] = ()
+    category: str = "OLTP"
+    #: Optional planner hint; None lets the planner use table statistics.
+    selectivity_hint: Optional[float] = None
+    note: str = ""
+
+
+QUERIES = {
+    "Q1": QuerySpec(
+        "Q1",
+        "SELECT f3, f4 FROM table-a WHERE f10 > x",
+        params={"x": 899},
+        tables=(TABLE_A,),
+        category="OLTP",
+        note="selective projection (about 10% qualify)",
+    ),
+    "Q2": QuerySpec(
+        "Q2",
+        "SELECT * FROM table-b WHERE f10 > x",
+        params={"x": 949},
+        tables=(TABLE_B,),
+        category="OLTP",
+        note="most of f10 is NOT greater than x",
+    ),
+    "Q3": QuerySpec(
+        "Q3",
+        "SELECT * FROM table-b WHERE f10 > x",
+        params={"x": 49},
+        tables=(TABLE_B,),
+        category="OLTP",
+        note="most of f10 IS greater than x (degenerates to a row scan)",
+    ),
+    "Q4": QuerySpec(
+        "Q4",
+        "SELECT SUM(f9) FROM table-a WHERE f10 > x",
+        params={"x": 499},
+        tables=(TABLE_A,),
+        category="OLAP",
+    ),
+    "Q5": QuerySpec(
+        "Q5",
+        "SELECT SUM(f9) FROM table-b WHERE f10 > x",
+        params={"x": 499},
+        tables=(TABLE_B,),
+        category="OLAP",
+    ),
+    "Q6": QuerySpec(
+        "Q6",
+        "SELECT AVG(f1) FROM table-a WHERE f10 > x",
+        params={"x": 499},
+        tables=(TABLE_A,),
+        category="OLAP",
+    ),
+    "Q7": QuerySpec(
+        "Q7",
+        "SELECT AVG(f1) FROM table-b WHERE f10 > x",
+        params={"x": 499},
+        tables=(TABLE_B,),
+        category="OLAP",
+    ),
+    "Q8": QuerySpec(
+        "Q8",
+        "SELECT table-a.f3, table-b.f4 FROM table-a, table-b "
+        "WHERE table-a.f1 > table-b.f1 AND table-a.f9 = table-b.f9",
+        tables=(TABLE_A, TABLE_B),
+        category="OLTP",
+        note="equi-join with cross-table inequality",
+    ),
+    "Q9": QuerySpec(
+        "Q9",
+        "SELECT table-a.f3, table-b.f4 FROM table-a, table-b "
+        "WHERE table-a.f9 = table-b.f9",
+        tables=(TABLE_A, TABLE_B),
+        category="OLTP",
+        note="plain equi-join",
+    ),
+    "Q10": QuerySpec(
+        "Q10",
+        "SELECT f3, f4 FROM table-a WHERE f1 > x AND f9 < y",
+        params={"x": 5000, "y": 1000},
+        tables=(TABLE_A,),
+        category="OLTP",
+    ),
+    "Q11": QuerySpec(
+        "Q11",
+        "SELECT f3, f4 FROM table-a WHERE f1 > x AND f2 < y",
+        params={"x": 5000, "y": 5000},
+        tables=(TABLE_A,),
+        category="OLTP",
+    ),
+    "Q12": QuerySpec(
+        "Q12",
+        "UPDATE table-b SET f3 = x, f4 = y WHERE f10 = z",
+        params={"x": 111, "y": 222, "z": 500},
+        tables=(TABLE_B,),
+        category="OLTP",
+    ),
+    "Q13": QuerySpec(
+        "Q13",
+        "UPDATE table-b SET f9 = x WHERE f10 = y",
+        params={"x": 333, "y": 501},
+        tables=(TABLE_B,),
+        category="OLTP",
+    ),
+    "Q14": QuerySpec(
+        "Q14",
+        "SELECT SUM(f2_wide) FROM table-c",
+        tables=(TABLE_C,),
+        category="group-caching",
+        note="OLAP read of the wide field f2_wide",
+    ),
+    "Q15": QuerySpec(
+        "Q15",
+        "SELECT f3, f6, f10 FROM table-a",
+        tables=(TABLE_A,),
+        category="group-caching",
+        note="Z-order multi-field projection",
+    ),
+}
+
+#: Figure 18/19/20/21 use Q1-Q13; Figure 23 uses Q14/Q15.
+SQL_BENCHMARK_IDS = tuple(f"Q{i}" for i in range(1, 14))
+GROUP_CACHING_IDS = ("Q14", "Q15")
+ALL_IDS = tuple(QUERIES)
+
+
+def query(qid) -> QuerySpec:
+    return QUERIES[qid]
+
+
+def query_list(qids) -> list:
+    return [QUERIES[qid] for qid in qids]

@@ -1,0 +1,43 @@
+"""Benchmark database construction for the SQL query suite."""
+
+from repro.imdb.chunks import IntraLayout
+from repro.imdb.database import Database
+from repro.workloads import datagen
+from repro.workloads.tables import ALL_TABLES, TABLE_A, TABLE_B, TABLE_C
+
+#: Tuple counts at scale 1.0.  The paper's tables are much larger, but
+#: every geometric ratio that drives the results (tuple width vs row
+#: buffer, table size vs cache) is preserved; see EXPERIMENTS.md.
+BASE_TUPLES = {TABLE_A: 8192, TABLE_B: 8192, TABLE_C: 4096}
+
+
+def default_layout(memory):
+    """The paper applies the column-oriented layout as the default on
+    RC-NVM (it performs best in Figure 17); conventional systems use the
+    classical row-store layout."""
+    return IntraLayout.COLUMN if memory.supports_column else IntraLayout.ROW
+
+
+def build_benchmark_database(
+    memory,
+    scale=1.0,
+    layout=None,
+    tables=None,
+    cache_config=None,
+    verify=False,
+    default_group_lines=0,
+) -> Database:
+    """A database with the paper's three benchmark tables loaded."""
+    db = Database(
+        memory,
+        cache_config=cache_config,
+        verify=verify,
+        default_group_lines=default_group_lines,
+    )
+    layout = layout or default_layout(memory)
+    wanted = tables if tables is not None else list(ALL_TABLES)
+    for name in wanted:
+        fields = ALL_TABLES[name]()
+        n_tuples = max(64, int(BASE_TUPLES[name] * scale))
+        datagen.populate(db, name, fields, n_tuples, layout)
+    return db

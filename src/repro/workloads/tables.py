@@ -1,0 +1,46 @@
+"""Schemas of the paper's benchmark tables (Section 6.2).
+
+"The tuples of table-a and table-b have 16 and 20 fixed length (8-byte)
+fields respectively, while five variant-length fields in the tuples of
+table-c."  table-a's 16-word tuple is a power of two, which is what makes
+GS-DRAM's gathers applicable to it (and inapplicable to table-b's
+20-word tuple).
+"""
+
+from repro.geometry import WORD_BYTES
+
+TABLE_A = "table-a"
+TABLE_B = "table-b"
+TABLE_C = "table-c"
+
+
+def table_a_fields():
+    """16 fixed 8-byte fields f1..f16 (tuple = 128 B, power of two)."""
+    return [(f"f{i}", WORD_BYTES) for i in range(1, 17)]
+
+
+def table_b_fields():
+    """20 fixed 8-byte fields f1..f20 (tuple = 160 B, not a power of two)."""
+    return [(f"f{i}", WORD_BYTES) for i in range(1, 21)]
+
+
+#: table-c's five variant-length fields; f2_wide is the wide field of
+#: Figure 14 (an email-like value spanning several 8-byte columns).
+TABLE_C_FIELDS = (
+    ("f1", 8),
+    ("f2_wide", 32),
+    ("f3", 16),
+    ("f4", 8),
+    ("f5", 24),
+)
+
+
+def table_c_fields():
+    return list(TABLE_C_FIELDS)
+
+
+ALL_TABLES = {
+    TABLE_A: table_a_fields,
+    TABLE_B: table_b_fields,
+    TABLE_C: table_c_fields,
+}

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Everything uses the small geometries (16 MB memories, tiny caches) so the
+full suite runs in seconds while preserving every structural property.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import SMALL_DRAM_GEOMETRY, SMALL_RCNVM_GEOMETRY
+from repro.imdb.database import Database
+from repro.memsim.system import (
+    make_dram,
+    make_gsdram,
+    make_rcnvm,
+    make_rram,
+)
+
+SMALL_CACHES = dict(l1_kib=4, l2_kib=16, l3_kib=64)
+
+SYSTEM_FACTORIES = {
+    "DRAM": lambda: make_dram(SMALL_DRAM_GEOMETRY),
+    "GS-DRAM": lambda: make_gsdram(SMALL_DRAM_GEOMETRY),
+    "RRAM": lambda: make_rram(SMALL_RCNVM_GEOMETRY),
+    "RC-NVM": lambda: make_rcnvm(SMALL_RCNVM_GEOMETRY),
+}
+
+
+def make_system(name):
+    return SYSTEM_FACTORIES[name]()
+
+
+def make_database(system_name="RC-NVM", verify=True, **kwargs):
+    kwargs.setdefault("cache_config", SMALL_CACHES)
+    return Database(make_system(system_name), verify=verify, **kwargs)
+
+
+def simple_rows(n, fields=4, seed=1, value_range=1000):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, value_range, size=(n, fields))
+    return [tuple(int(v) for v in row) for row in data]
+
+
+@pytest.fixture
+def rcnvm_memory():
+    return make_system("RC-NVM")
+
+
+@pytest.fixture
+def dram_memory():
+    return make_system("DRAM")
+
+
+@pytest.fixture
+def rcnvm_db():
+    return make_database("RC-NVM")
+
+
+@pytest.fixture
+def dram_db():
+    return make_database("DRAM")
+
+
+@pytest.fixture(params=["DRAM", "RRAM", "GS-DRAM", "RC-NVM"])
+def any_system_name(request):
+    return request.param
+
+
+@pytest.fixture(params=["row", "column"])
+def any_layout(request):
+    return request.param

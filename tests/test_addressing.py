@@ -1,0 +1,160 @@
+"""Dual addressing: encode/decode, conversion, the Figure 7 permutation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.addressing import AddressMapper, Coordinate, Orientation
+from repro.errors import AddressError
+from repro.geometry import Geometry, RCNVM_GEOMETRY, SMALL_RCNVM_GEOMETRY
+
+
+@pytest.fixture(scope="module")
+def mapper():
+    return AddressMapper(RCNVM_GEOMETRY)
+
+
+def coordinates(geometry):
+    return st.builds(
+        Coordinate,
+        channel=st.integers(0, geometry.channels - 1),
+        rank=st.integers(0, geometry.ranks - 1),
+        bank=st.integers(0, geometry.banks - 1),
+        subarray=st.integers(0, geometry.subarrays - 1),
+        row=st.integers(0, geometry.rows - 1),
+        col=st.integers(0, geometry.cols - 1),
+        offset=st.integers(0, 7),
+    )
+
+
+class TestEncodeDecode:
+    def test_zero_coordinate(self, mapper):
+        coord = Coordinate(0, 0, 0, 0, 0, 0, 0)
+        assert mapper.encode_row(coord) == 0
+        assert mapper.encode_col(coord) == 0
+
+    def test_row_address_increments_along_row(self, mapper):
+        base = Coordinate(0, 0, 0, 0, row=5, col=7)
+        nxt = Coordinate(0, 0, 0, 0, row=5, col=8)
+        assert mapper.encode_row(nxt) - mapper.encode_row(base) == 8
+
+    def test_col_address_increments_down_column(self, mapper):
+        base = Coordinate(0, 0, 0, 0, row=5, col=7)
+        nxt = Coordinate(0, 0, 0, 0, row=6, col=7)
+        assert mapper.encode_col(nxt) - mapper.encode_col(base) == 8
+
+    def test_row_crossing_to_next_row(self, mapper):
+        g = mapper.geometry
+        end = Coordinate(0, 0, 0, 0, row=0, col=g.cols - 1, offset=7)
+        start = Coordinate(0, 0, 0, 0, row=1, col=0, offset=0)
+        assert mapper.encode_row(end) + 1 == mapper.encode_row(start)
+
+    @given(coord=coordinates(RCNVM_GEOMETRY))
+    @settings(max_examples=200)
+    def test_row_roundtrip(self, mapper, coord):
+        assert mapper.decode_row(mapper.encode_row(coord)) == coord
+
+    @given(coord=coordinates(RCNVM_GEOMETRY))
+    @settings(max_examples=200)
+    def test_col_roundtrip(self, mapper, coord):
+        assert mapper.decode_col(mapper.encode_col(coord)) == coord
+
+    @given(coord=coordinates(RCNVM_GEOMETRY))
+    @settings(max_examples=200)
+    def test_same_location_two_addresses(self, mapper, coord):
+        """Both address spaces point at the same physical byte."""
+        row_addr = mapper.encode_row(coord)
+        col_addr = mapper.encode_col(coord)
+        assert mapper.physical_index(mapper.decode_row(row_addr)) == \
+            mapper.physical_index(mapper.decode_col(col_addr))
+
+
+class TestConversion:
+    @given(coord=coordinates(RCNVM_GEOMETRY))
+    @settings(max_examples=200)
+    def test_row_to_col_matches_encode(self, mapper, coord):
+        assert mapper.row_to_col_address(mapper.encode_row(coord)) == \
+            mapper.encode_col(coord)
+
+    @given(coord=coordinates(RCNVM_GEOMETRY))
+    @settings(max_examples=200)
+    def test_conversion_is_involution(self, mapper, coord):
+        addr = mapper.encode_row(coord)
+        assert mapper.col_to_row_address(mapper.row_to_col_address(addr)) == addr
+
+    def test_to_orientation_identity(self, mapper):
+        assert mapper.to_orientation(1234 * 8, Orientation.ROW, Orientation.ROW) == 1234 * 8
+
+    def test_to_orientation_row_col(self, mapper):
+        coord = Coordinate(1, 2, 3, 4, 100, 200, 4)
+        addr = mapper.encode_row(coord)
+        assert (
+            mapper.to_orientation(addr, Orientation.ROW, Orientation.COLUMN)
+            == mapper.encode_col(coord)
+        )
+
+    def test_gather_conversion_rejected(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.to_orientation(0, Orientation.GATHER, Orientation.ROW)
+
+
+class TestValidation:
+    def test_out_of_range_row(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.encode_row(Coordinate(0, 0, 0, 0, RCNVM_GEOMETRY.rows, 0))
+
+    def test_out_of_range_channel(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.encode_row(Coordinate(2, 0, 0, 0, 0, 0))
+
+    def test_negative_address(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.decode_row(-1)
+
+    def test_oversized_address(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.decode_row(1 << 33)
+
+    def test_gather_encode_rejected(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.encode(Coordinate(0, 0, 0, 0, 0, 0), Orientation.GATHER)
+
+
+class TestPhysicalIndex:
+    def test_physical_index_is_bijective_on_small_geometry(self):
+        geometry = Geometry(channels=1, ranks=1, banks=2, subarrays=1, rows=4, cols=4)
+        mapper = AddressMapper(geometry)
+        seen = set()
+        for bank in range(2):
+            for row in range(4):
+                for col in range(4):
+                    for offset in range(8):
+                        coord = Coordinate(0, 0, bank, 0, row, col, offset)
+                        seen.add(mapper.physical_index(coord))
+        assert seen == set(range(geometry.total_bytes))
+
+    def test_subarray_index_matches_coord(self):
+        mapper = AddressMapper(SMALL_RCNVM_GEOMETRY)
+        coord = Coordinate(1, 0, 3, 1, 10, 20)
+        g = SMALL_RCNVM_GEOMETRY
+        expected = ((1 * g.ranks + 0) * g.banks + 3) * g.subarrays + 1
+        assert mapper.subarray_index(coord) == expected
+
+
+class TestCoordinate:
+    def test_word_aligned_zeroes_offset(self):
+        coord = Coordinate(0, 0, 0, 0, 1, 2, offset=5)
+        assert coord.word_aligned().offset == 0
+
+    def test_word_aligned_identity(self):
+        coord = Coordinate(0, 0, 0, 0, 1, 2, offset=0)
+        assert coord.word_aligned() is coord
+
+
+class TestOrientation:
+    def test_opposites(self):
+        assert Orientation.ROW.opposite is Orientation.COLUMN
+        assert Orientation.COLUMN.opposite is Orientation.ROW
+
+    def test_gather_has_no_opposite(self):
+        with pytest.raises(ValueError):
+            Orientation.GATHER.opposite

@@ -1,0 +1,155 @@
+"""Bank state machine: buffer hits, conflicts, orientation switches."""
+
+import pytest
+
+from repro.core.addressing import Orientation
+from repro.errors import CapabilityError
+from repro.memsim.bank import Bank
+from repro.memsim.request import MemRequest
+from repro.memsim.stats import MemoryStats
+from repro.memsim.timing import DDR3_1333_DRAM, LPDDR3_800_RCNVM
+
+
+def request(row=0, col=0, subarray=0, orientation=Orientation.ROW,
+            is_write=False, arrival=0):
+    return MemRequest(
+        channel=0, rank=0, bank=0, subarray=subarray, row=row, col=col,
+        orientation=orientation, is_write=is_write, arrival=arrival,
+    )
+
+
+@pytest.fixture
+def bank():
+    return Bank(LPDDR3_800_RCNVM, supports_column=True)
+
+
+@pytest.fixture
+def stats():
+    return MemoryStats()
+
+
+class TestBufferStates:
+    def test_first_access_is_empty_miss(self, bank, stats):
+        bank.prepare(request(row=3), stats)
+        assert stats.buffer_empty_misses == 1
+        assert stats.activations == 1
+
+    def test_same_row_hits(self, bank, stats):
+        bank.prepare(request(row=3, col=1), stats)
+        bank.prepare(request(row=3, col=2), stats)
+        assert stats.buffer_hits == 1
+
+    def test_different_row_conflicts(self, bank, stats):
+        bank.prepare(request(row=3), stats)
+        bank.prepare(request(row=4), stats)
+        assert stats.buffer_conflicts == 1
+        assert stats.activations == 2
+
+    def test_different_subarray_conflicts(self, bank, stats):
+        bank.prepare(request(row=3, subarray=0), stats)
+        bank.prepare(request(row=3, subarray=1), stats)
+        assert stats.buffer_conflicts == 1
+
+    def test_orientation_switch_counted(self, bank, stats):
+        bank.prepare(request(row=3), stats)
+        bank.prepare(request(col=3, orientation=Orientation.COLUMN), stats)
+        assert stats.orientation_switches == 1
+        assert bank.open_kind is Orientation.COLUMN
+
+    def test_column_hit_after_switch(self, bank, stats):
+        bank.prepare(request(col=3, row=0, orientation=Orientation.COLUMN), stats)
+        bank.prepare(request(col=3, row=9, orientation=Orientation.COLUMN), stats)
+        assert stats.buffer_hits == 1
+
+    def test_exclusive_buffers_invariant(self, bank, stats):
+        """Row and column buffer are never active simultaneously: the
+        open state is a single (kind, subarray, index)."""
+        bank.prepare(request(row=3), stats)
+        assert bank.open_kind is Orientation.ROW
+        bank.prepare(request(col=5, orientation=Orientation.COLUMN), stats)
+        assert bank.open_kind is Orientation.COLUMN
+        assert bank.open_index == 5
+
+
+class TestTiming:
+    def test_hit_is_cas_only(self, bank, stats):
+        bank.prepare(request(row=3), stats)
+        start, data_at = bank.prepare(request(row=3, col=9, arrival=10_000), stats)
+        assert data_at - start == LPDDR3_800_RCNVM.cas_cpu
+
+    def test_empty_miss_pays_rcd(self, bank, stats):
+        start, data_at = bank.prepare(request(row=3), stats)
+        t = LPDDR3_800_RCNVM
+        assert data_at - start == t.rcd_cpu + t.cas_cpu
+
+    def test_clean_conflict_pays_rp_and_rcd(self, bank, stats):
+        bank.prepare(request(row=3), stats)
+        start, data_at = bank.prepare(request(row=4, arrival=10_000), stats)
+        t = LPDDR3_800_RCNVM
+        assert data_at - start == t.rp_cpu + t.rcd_cpu + t.cas_cpu
+
+    def test_dirty_flush_pays_write_pulse(self, bank, stats):
+        bank.prepare(request(row=3, is_write=True), stats)
+        start, data_at = bank.prepare(request(row=4, arrival=10_000), stats)
+        t = LPDDR3_800_RCNVM
+        assert data_at - start == t.write_pulse_cpu + t.rp_cpu + t.rcd_cpu + t.cas_cpu
+        assert stats.dirty_flushes == 1
+
+    def test_write_marks_dirty(self, bank, stats):
+        bank.prepare(request(row=3, is_write=True), stats)
+        assert bank.dirty
+
+    def test_activation_clears_dirty(self, bank, stats):
+        bank.prepare(request(row=3, is_write=True), stats)
+        bank.prepare(request(row=4), stats)
+        assert not bank.dirty
+
+    def test_dram_honours_tras(self, stats):
+        bank = Bank(DDR3_1333_DRAM, supports_column=False)
+        bank.prepare(request(row=3), stats)
+        activated = bank.activated_at
+        # Immediately conflicting: precharge must wait until tRAS expires.
+        start, data_at = bank.prepare(request(row=4), stats)
+        t = DDR3_1333_DRAM
+        assert data_at >= activated + t.ras_cpu + t.rp_cpu + t.rcd_cpu + t.cas_cpu
+
+    def test_ready_pipelines_at_burst_granularity(self, bank, stats):
+        bank.prepare(request(row=3), stats)
+        ready_after_first = bank.ready_at
+        start, _ = bank.prepare(request(row=3, col=5), stats)
+        assert start == ready_after_first
+        assert bank.ready_at == start + LPDDR3_800_RCNVM.burst_cpu
+
+    def test_arrival_respected(self, bank, stats):
+        start, _ = bank.prepare(request(row=3, arrival=500), stats)
+        assert start >= 500
+
+
+class TestCapabilities:
+    def test_column_access_needs_column_buffer(self, stats):
+        bank = Bank(DDR3_1333_DRAM, supports_column=False)
+        with pytest.raises(CapabilityError):
+            bank.prepare(request(orientation=Orientation.COLUMN), stats)
+
+    def test_gather_uses_row_buffer(self, stats):
+        bank = Bank(DDR3_1333_DRAM, supports_column=False)
+        bank.prepare(request(row=7, orientation=Orientation.GATHER), stats)
+        assert bank.open_kind is Orientation.ROW
+        assert bank.open_index == 7
+
+
+class TestFlush:
+    def test_flush_closes_buffer(self, bank, stats):
+        bank.prepare(request(row=3), stats)
+        bank.flush(stats, now=1000)
+        assert bank.open_kind is None
+
+    def test_flush_dirty_pays_pulse(self, bank, stats):
+        bank.prepare(request(row=3, is_write=True), stats)
+        before = bank.ready_at
+        done = bank.flush(stats, now=0)
+        t = LPDDR3_800_RCNVM
+        assert done == before + t.write_pulse_cpu + t.rp_cpu
+
+    def test_flush_idle_is_noop(self, bank, stats):
+        assert bank.flush(stats, now=123) == 123

@@ -1,0 +1,124 @@
+"""Online 2-D bin packing with rotation: bounds, overlap, utilization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LayoutError
+from repro.imdb.binpack import OnlineBinPacker
+
+
+def rects_overlap(a, b):
+    ax, ay, aw, ah = a
+    bx, by, bw, bh = b
+    return ax < bx + bw and bx < ax + aw and ay < by + bh and by < ay + ah
+
+
+class TestBasics:
+    def test_single_placement_at_origin(self):
+        packer = OnlineBinPacker(100, 100)
+        p = packer.place(30, 20)
+        assert (p.bin_index, p.x, p.y) == (0, 0, 0)
+        assert (p.width, p.height) == (30, 20)
+
+    def test_shelf_fills_horizontally(self):
+        packer = OnlineBinPacker(100, 100)
+        first = packer.place(30, 20)
+        second = packer.place(30, 20)
+        assert second.bin_index == first.bin_index
+        assert second.y == first.y
+        assert second.x == first.x + 30
+
+    def test_new_shelf_when_row_full(self):
+        packer = OnlineBinPacker(100, 100, allow_rotation=False)
+        for _ in range(3):
+            packer.place(40, 20)
+        # Fourth 40-wide rect cannot fit the 100-wide shelf.
+        fourth = packer.place(40, 20)
+        assert fourth.y == 20
+
+    def test_new_bin_when_full(self):
+        packer = OnlineBinPacker(40, 40, allow_rotation=False)
+        packer.place(40, 40)
+        p = packer.place(40, 40)
+        assert p.bin_index == 1
+        assert packer.bins_used == 2
+
+    def test_oversized_rejected(self):
+        packer = OnlineBinPacker(10, 10)
+        with pytest.raises(LayoutError):
+            packer.place(11, 11)
+
+    def test_zero_rejected(self):
+        packer = OnlineBinPacker(10, 10)
+        with pytest.raises(LayoutError):
+            packer.place(0, 5)
+
+
+class TestRotation:
+    def test_rotation_enables_fit(self):
+        packer = OnlineBinPacker(20, 10)
+        p = packer.place(5, 20)  # taller than the bin; must rotate
+        assert p.rotated
+        assert (p.width, p.height) == (20, 5)
+
+    def test_rotation_disabled(self):
+        packer = OnlineBinPacker(20, 10, allow_rotation=False)
+        with pytest.raises(LayoutError):
+            packer.place(5, 20)
+
+    def test_rotation_reuses_shelf(self):
+        packer = OnlineBinPacker(100, 30)
+        packer.place(40, 10)  # shelf of height 10
+        p = packer.place(10, 40)  # fits that shelf only if rotated
+        assert p.rotated and p.y == 0
+
+    def test_square_not_rotated(self):
+        packer = OnlineBinPacker(50, 50)
+        assert not packer.place(10, 10).rotated
+
+
+class TestInvariants:
+    @given(
+        rects=st.lists(
+            st.tuples(st.integers(1, 40), st.integers(1, 40)), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_overlap_and_in_bounds(self, rects):
+        packer = OnlineBinPacker(64, 64)
+        placed = {}
+        for w, h in rects:
+            p = packer.place(w, h)
+            assert 0 <= p.x and p.x + p.width <= 64
+            assert 0 <= p.y and p.y + p.height <= 64
+            assert {p.width, p.height} == {w, h}  # rotation preserves dims
+            rect = (p.x, p.y, p.width, p.height)
+            for other in placed.get(p.bin_index, []):
+                assert not rects_overlap(rect, other)
+            placed.setdefault(p.bin_index, []).append(rect)
+
+    @given(
+        rects=st.lists(
+            st.tuples(st.integers(1, 32), st.integers(1, 32)), min_size=5, max_size=30
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_area_conservation(self, rects):
+        packer = OnlineBinPacker(64, 64)
+        total = 0
+        for w, h in rects:
+            packer.place(w, h)
+            total += w * h
+        assert packer.utilization() == pytest.approx(
+            total / (packer.bins_used * 64 * 64)
+        )
+
+    def test_utilization_empty(self):
+        assert OnlineBinPacker(10, 10).utilization() == 0.0
+
+    def test_uniform_rects_pack_tightly(self):
+        packer = OnlineBinPacker(64, 64)
+        for _ in range(16):
+            packer.place(16, 16)
+        assert packer.bins_used == 1
+        assert packer.utilization() == 1.0

@@ -1,0 +1,107 @@
+"""Set-associative cache: LRU, eviction, pinning."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.line import line_key
+from repro.core.addressing import Orientation
+from repro.errors import ConfigurationError
+
+
+def key(i, orientation=Orientation.ROW):
+    return line_key(i * 64, orientation)
+
+
+@pytest.fixture
+def cache():
+    # 4 sets x 2 ways.
+    return Cache("test", size_bytes=8 * 64, ways=2, hit_latency=4)
+
+
+class TestBasics:
+    def test_miss_then_hit(self, cache):
+        assert cache.lookup(key(0)) is None
+        cache.install(key(0))
+        assert cache.lookup(key(0)) is not None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_probe_does_not_count(self, cache):
+        cache.install(key(0))
+        cache.probe(key(0))
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_orientation_distinguishes_lines(self, cache):
+        cache.install(key(0, Orientation.ROW))
+        assert cache.lookup(key(0, Orientation.COLUMN)) is None
+
+    def test_install_existing_refreshes(self, cache):
+        cache.install(key(0))
+        line, victim = cache.install(key(0), dirty=True)
+        assert victim is None
+        assert line.dirty
+
+    def test_invalidate(self, cache):
+        cache.install(key(0))
+        assert cache.invalidate(key(0)) is not None
+        assert cache.invalidate(key(0)) is None
+        assert not cache.contains(key(0))
+
+    def test_occupancy(self, cache):
+        for i in range(3):
+            cache.install(key(i))
+        assert cache.occupancy() == 3
+
+    def test_clear(self, cache):
+        cache.install(key(0))
+        cache.clear()
+        assert cache.occupancy() == 0
+
+
+class TestLru:
+    def test_lru_victim(self, cache):
+        # Keys 0, 4, 8 map to the same set (4 sets).
+        cache.install(key(0))
+        cache.install(key(4))
+        cache.lookup(key(0))  # refresh 0; 4 becomes LRU
+        _line, victim = cache.install(key(8))
+        assert victim.key == key(4)
+
+    def test_eviction_counted(self, cache):
+        cache.install(key(0))
+        cache.install(key(4))
+        cache.install(key(8))
+        assert cache.stats.evictions == 1
+
+
+class TestPinning:
+    def test_pinned_skipped(self, cache):
+        cache.install(key(0), pinned=True)
+        cache.install(key(4))
+        _line, victim = cache.install(key(8))
+        assert victim.key == key(4)
+        assert cache.stats.pin_skips >= 1
+
+    def test_all_pinned_forces_unpin(self, cache):
+        cache.install(key(0), pinned=True)
+        cache.install(key(4), pinned=True)
+        _line, victim = cache.install(key(8))
+        assert victim is not None
+        assert cache.stats.pin_overflows == 1
+
+    def test_set_pinned(self, cache):
+        cache.install(key(0))
+        assert cache.set_pinned(key(0), True).pinned
+        assert not cache.set_pinned(key(0), False).pinned
+
+    def test_set_pinned_missing(self, cache):
+        assert cache.set_pinned(key(0), True) is None
+
+
+class TestValidation:
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            Cache("bad", size_bytes=100, ways=2, hit_latency=1)
+
+    def test_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            Cache("bad", size_bytes=3 * 2 * 64, ways=2, hit_latency=1)

@@ -1,0 +1,88 @@
+"""Circuit-level area/latency models (Figures 4 and 5 anchors)."""
+
+import pytest
+
+from repro.core import circuit
+from repro.errors import ConfigurationError
+from repro.memsim.timing import LPDDR3_800_RRAM
+
+
+class TestRcNvmArea:
+    def test_paper_anchor_512(self):
+        # Figure 4: "the overhead drops to less than 20% when the numbers
+        # of WL and BLs are 512"; the paper's design point is ~15%.
+        assert circuit.rc_nvm_area_overhead(512) < 0.20
+        assert circuit.rc_nvm_area_overhead(512) == pytest.approx(0.15, abs=0.02)
+
+    def test_monotonically_decreasing(self):
+        values = [circuit.rc_nvm_area_overhead(n) for n in (16, 32, 64, 128, 256, 512, 1024)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_breakdown_consistent(self):
+        breakdown = circuit.rc_nvm_area(256)
+        assert breakdown.total == breakdown.baseline + breakdown.extra_periphery
+        assert breakdown.overhead == pytest.approx(
+            circuit.rc_nvm_area_overhead(256)
+        )
+
+    def test_cell_array_untouched(self):
+        # RC-NVM adds only periphery: the cell array term equals plain
+        # crossbar NVM's.
+        breakdown = circuit.rc_nvm_area(128)
+        assert breakdown.cell_array == circuit.NVM_CELL_F2 * 128 * 128
+
+
+class TestRcDramArea:
+    def test_always_above_200_percent(self):
+        # Section 2.2: "larger than 200% bit-per-area".
+        for n in circuit.FIGURE4_ARRAY_SIZES:
+            assert circuit.rc_dram_area_overhead(n) > 2.0
+
+    def test_grows_with_array_size(self):
+        values = [circuit.rc_dram_area_overhead(n) for n in circuit.FIGURE4_ARRAY_SIZES]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_rc_dram_much_worse_than_rc_nvm(self):
+        for n in (128, 256, 512, 1024):
+            assert circuit.rc_dram_area_overhead(n) > 5 * circuit.rc_nvm_area_overhead(n)
+
+
+class TestLatency:
+    def test_paper_anchor_512(self):
+        # Figure 5: "when the numbers of WL and BLs are 512, the timing
+        # overhead is just about 15%".
+        assert circuit.rc_nvm_latency_overhead(512) == pytest.approx(0.15, abs=0.01)
+
+    def test_monotonically_increasing(self):
+        values = [circuit.rc_nvm_latency_overhead(n) for n in circuit.FIGURE5_ARRAY_SIZES]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_moderate_at_small_arrays(self):
+        assert circuit.rc_nvm_latency_overhead(64) < 0.05
+
+
+class TestSweeps:
+    def test_figure4_rows(self):
+        rows = circuit.area_overhead_sweep()
+        assert [n for n, _d, _v in rows] == list(circuit.FIGURE4_ARRAY_SIZES)
+
+    def test_figure5_rows(self):
+        rows = circuit.latency_overhead_sweep()
+        assert len(rows) == len(circuit.FIGURE5_ARRAY_SIZES)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            circuit.rc_nvm_area_overhead(1)
+
+
+class TestTimingDerivation:
+    def test_scale_timing_matches_table1(self):
+        # Applying the N=512 overhead to the RRAM timing yields RC-NVM's
+        # Table 1 read path (tRCD 10 -> 12).
+        derived = circuit.scale_timing_for_array(LPDDR3_800_RRAM, 512)
+        assert derived.t_rcd == 12
+        assert derived.t_cas == LPDDR3_800_RRAM.t_cas
+
+    def test_scale_timing_write_pulse(self):
+        derived = circuit.scale_timing_for_array(LPDDR3_800_RRAM, 512)
+        assert derived.write_pulse >= LPDDR3_800_RRAM.write_pulse

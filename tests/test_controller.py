@@ -1,0 +1,151 @@
+"""FR-FCFS channel controller: scheduling, bus contention, statistics."""
+
+import pytest
+
+from repro.core.addressing import Orientation
+from repro.geometry import SMALL_RCNVM_GEOMETRY
+from repro.memsim.controller import ChannelController
+from repro.memsim.request import MemRequest
+from repro.memsim.timing import LPDDR3_800_RCNVM
+
+
+def request(row=0, col=0, bank=0, rank=0, subarray=0,
+            orientation=Orientation.ROW, is_write=False, arrival=0):
+    return MemRequest(
+        channel=0, rank=rank, bank=bank, subarray=subarray, row=row, col=col,
+        orientation=orientation, is_write=is_write, arrival=arrival,
+    )
+
+
+@pytest.fixture
+def controller():
+    return ChannelController(
+        SMALL_RCNVM_GEOMETRY, LPDDR3_800_RCNVM, supports_column=True, queue_depth=8
+    )
+
+
+class TestScheduling:
+    def test_completion_of_submitted(self, controller):
+        req = request(row=1)
+        controller.submit(req)
+        completion = controller.completion_of(req)
+        assert completion > 0
+        assert req.completion == completion
+
+    def test_unsubmitted_raises(self, controller):
+        with pytest.raises(LookupError):
+            controller.completion_of(request())
+
+    def test_fr_fcfs_prefers_open_row(self, controller):
+        # Open row 1, then queue a conflicting request followed by a
+        # row-hit request: the hit should be serviced first.
+        opener = request(row=1, col=0)
+        controller.submit(opener)
+        controller.completion_of(opener)
+        conflict = request(row=2, col=0)
+        hit = request(row=1, col=1)
+        controller.submit(conflict)
+        controller.submit(hit)
+        controller.drain()
+        assert hit.completion < conflict.completion
+
+    def test_fcfs_among_misses(self, controller):
+        first = request(row=5)
+        second = request(row=6)
+        controller.submit(first)
+        controller.submit(second)
+        controller.drain()
+        assert first.completion < second.completion
+
+    def test_queue_overflow_triggers_scheduling(self, controller):
+        requests = [request(row=i) for i in range(12)]
+        for req in requests:
+            controller.submit(req)
+        # More than queue_depth submitted: the oldest must have been
+        # scheduled already.
+        assert requests[0].completion is not None
+        assert len(controller.pending) <= controller.queue_depth
+
+    def test_drain_completes_everything(self, controller):
+        requests = [request(row=i) for i in range(5)]
+        for req in requests:
+            controller.submit(req)
+        controller.drain()
+        assert all(req.completion is not None for req in requests)
+        assert not controller.pending
+
+
+class TestTiming:
+    def test_bus_serializes_row_hits(self, controller):
+        opener = request(row=1, col=0)
+        controller.submit(opener)
+        controller.completion_of(opener)
+        hits = [request(row=1, col=c) for c in range(1, 9)]
+        for req in hits:
+            controller.submit(req)
+        controller.drain()
+        burst = LPDDR3_800_RCNVM.burst_cpu
+        completions = [req.completion for req in hits]
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        assert all(gap >= burst for gap in gaps)
+
+    def test_bank_parallelism_beats_single_bank(self):
+        def total_time(banks):
+            controller = ChannelController(
+                SMALL_RCNVM_GEOMETRY, LPDDR3_800_RCNVM, True, queue_depth=32
+            )
+            reqs = [request(row=i, bank=(i % banks)) for i in range(16)]
+            for req in reqs:
+                controller.submit(req)
+            return controller.drain()
+
+        assert total_time(banks=4) < total_time(banks=1)
+
+    def test_completion_monotone_per_bus(self, controller):
+        reqs = [request(row=i % 3, col=i, bank=i % 2) for i in range(20)]
+        for req in reqs:
+            controller.submit(req)
+        controller.drain()
+        completions = sorted(req.completion for req in reqs)
+        # The bus transfers 64 bytes per burst; completions can never be
+        # closer together than one burst.
+        for a, b in zip(completions, completions[1:]):
+            assert b - a >= LPDDR3_800_RCNVM.burst_cpu
+
+
+class TestStatistics:
+    def test_read_write_counts(self, controller):
+        controller.submit(request(row=1))
+        controller.submit(request(row=1, col=2, is_write=True))
+        controller.drain()
+        assert controller.stats.reads == 1
+        assert controller.stats.writes == 1
+
+    def test_orientation_counts(self, controller):
+        controller.submit(request(row=1))
+        controller.submit(request(col=1, orientation=Orientation.COLUMN))
+        controller.submit(request(row=2, orientation=Orientation.GATHER))
+        controller.drain()
+        stats = controller.stats
+        assert (stats.row_oriented, stats.col_oriented, stats.gathers) == (1, 1, 1)
+
+    def test_bus_busy_accumulates(self, controller):
+        for i in range(4):
+            controller.submit(request(row=1, col=i))
+        controller.drain()
+        assert controller.stats.bus_busy_cycles == 4 * LPDDR3_800_RCNVM.burst_cpu
+
+    def test_miss_rate(self, controller):
+        controller.submit(request(row=1, col=0))
+        controller.submit(request(row=1, col=1))
+        controller.submit(request(row=2, col=0))
+        controller.drain()
+        assert controller.stats.buffer_miss_rate == pytest.approx(2 / 3)
+
+    def test_reset(self, controller):
+        controller.submit(request(row=1))
+        controller.drain()
+        controller.reset()
+        assert controller.stats.accesses == 0
+        assert controller.bus_free == 0
+        assert all(bank.open_kind is None for bank in controller.banks)

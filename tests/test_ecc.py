@@ -1,0 +1,105 @@
+"""SECDED ECC (paper Section 4.1's 72-bit bus): code and store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import SMALL_RCNVM_GEOMETRY
+from repro.imdb.physmem import PhysicalMemory
+from repro.memsim import ecc
+
+
+words = st.integers(0, (1 << 64) - 1)
+positions = st.integers(0, ecc.CODEWORD_BITS - 1)
+
+
+class TestCode:
+    def test_codeword_width(self):
+        assert ecc.encode((1 << 64) - 1) < (1 << ecc.CODEWORD_BITS)
+
+    @given(data=words)
+    @settings(max_examples=100)
+    def test_clean_roundtrip(self, data):
+        result = ecc.decode(ecc.encode(data))
+        assert result.status is ecc.EccStatus.CLEAN
+        assert result.data == data
+
+    @given(data=words, position=positions)
+    @settings(max_examples=200)
+    def test_single_bit_corrected(self, data, position):
+        corrupted = ecc.flip_bit(ecc.encode(data), position)
+        result = ecc.decode(corrupted)
+        assert result.status is ecc.EccStatus.CORRECTED
+        assert result.data == data
+        assert result.corrected_position == position
+
+    @given(
+        data=words,
+        position_pair=st.tuples(positions, positions).filter(lambda p: p[0] != p[1]),
+    )
+    @settings(max_examples=200)
+    def test_double_bit_detected(self, data, position_pair):
+        codeword = ecc.encode(data)
+        corrupted = ecc.flip_bit(ecc.flip_bit(codeword, position_pair[0]), position_pair[1])
+        assert ecc.decode(corrupted).status is ecc.EccStatus.DETECTED
+
+    @given(data=words)
+    @settings(max_examples=100)
+    def test_parity_pack_unpack(self, data):
+        codeword = ecc.encode(data)
+        assert ecc.unpack(data, ecc.pack_parity(codeword)) == codeword
+
+    def test_flip_bit_bounds(self):
+        with pytest.raises(ValueError):
+            ecc.flip_bit(0, ecc.CODEWORD_BITS)
+
+    def test_encode_bounds(self):
+        with pytest.raises(ValueError):
+            ecc.encode(1 << 64)
+        with pytest.raises(ValueError):
+            ecc.encode(-1)
+
+
+class TestEccStore:
+    @pytest.fixture
+    def store(self):
+        return ecc.EccStore(PhysicalMemory(SMALL_RCNVM_GEOMETRY))
+
+    def test_write_read(self, store):
+        store.write(0, 1, 2, -12345)
+        assert store.read(0, 1, 2) == -12345
+        assert store.stats.corrected == 0
+
+    def test_single_fault_corrected_and_repaired(self, store):
+        store.write(0, 1, 2, 999)
+        store.inject_fault(0, 1, 2, bit=17)
+        assert store.read(0, 1, 2) == 999
+        assert store.stats.corrected == 1
+        # Repaired in place: a second read is clean.
+        assert store.read(0, 1, 2) == 999
+        assert store.stats.corrected == 1
+
+    def test_parity_bit_fault_corrected(self, store):
+        store.write(0, 3, 3, 42)
+        store.inject_fault(0, 3, 3, bit=0)  # the overall parity bit
+        assert store.read(0, 3, 3) == 42
+        assert store.stats.corrected == 1
+
+    def test_double_fault_raises(self, store):
+        store.write(0, 1, 2, 7)
+        store.inject_fault(0, 1, 2, bit=10)
+        store.inject_fault(0, 1, 2, bit=40)
+        with pytest.raises(ecc.UncorrectableError):
+            store.read(0, 1, 2)
+        assert store.stats.detected == 1
+
+    def test_lazy_encoding_of_existing_data(self):
+        physmem = PhysicalMemory(SMALL_RCNVM_GEOMETRY)
+        physmem.write_cell(0, 5, 5, 1234)  # written before ECC attaches
+        store = ecc.EccStore(physmem)
+        assert store.read(0, 5, 5) == 1234
+
+    def test_negative_values_roundtrip(self, store):
+        store.write(0, 0, 0, np.int64(-1))
+        store.inject_fault(0, 0, 0, bit=33)
+        assert store.read(0, 0, 0) == -1

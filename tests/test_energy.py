@@ -1,0 +1,95 @@
+"""Energy model extension: pricing, invariants, system comparison."""
+
+import pytest
+
+from repro.memsim.energy import (
+    DRAM_ENERGY,
+    EnergyBreakdown,
+    MODELS,
+    RCNVM_ENERGY,
+    RRAM_ENERGY,
+    energy_of,
+    energy_of_run,
+)
+from repro.memsim.stats import MemoryStats
+
+
+def stats(activations=0, flushes=0, reads=0, writes=0):
+    s = MemoryStats()
+    s.activations = activations
+    s.dirty_flushes = flushes
+    s.reads = reads
+    s.writes = writes
+    return s
+
+
+class TestPricing:
+    def test_zero_run(self):
+        breakdown = energy_of(DRAM_ENERGY, stats(), cycles=0)
+        assert breakdown.total_nj == 0.0
+
+    def test_components_add_up(self):
+        breakdown = energy_of(RRAM_ENERGY, stats(10, 5, 100, 50), cycles=2_000_000)
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.activation_nj
+            + breakdown.flush_nj
+            + breakdown.read_nj
+            + breakdown.write_nj
+            + breakdown.static_nj
+        )
+
+    def test_static_scales_with_time(self):
+        short = energy_of(DRAM_ENERGY, stats(), cycles=2_000_000)
+        long = energy_of(DRAM_ENERGY, stats(), cycles=4_000_000)
+        assert long.static_nj == pytest.approx(2 * short.static_nj)
+        # 1 W for 1 ms = 1 uJ = 1e6 nJ at 2 GHz / 2e6 cycles.
+        assert short.static_nj == pytest.approx(1e6)
+
+    def test_accepts_snapshot_dict(self):
+        snap = stats(3, 1, 5, 2).snapshot()
+        breakdown = energy_of(DRAM_ENERGY, snap, cycles=100)
+        assert breakdown.activation_nj == pytest.approx(3 * DRAM_ENERGY.activate_nj)
+
+
+class TestModelShape:
+    def test_nvm_writes_cost_more_than_reads(self):
+        assert RRAM_ENERGY.flush_nj > RRAM_ENERGY.activate_nj
+
+    def test_dram_restore_is_free(self):
+        assert DRAM_ENERGY.flush_nj == 0.0
+
+    def test_nvm_standby_much_lower_than_dram(self):
+        assert RRAM_ENERGY.static_w < DRAM_ENERGY.static_w / 10
+
+    def test_rcnvm_pays_figure5_overhead(self):
+        assert RCNVM_ENERGY.activate_nj == pytest.approx(RRAM_ENERGY.activate_nj * 1.15)
+
+    def test_all_systems_have_models(self):
+        assert set(MODELS) == {"DRAM", "GS-DRAM", "RRAM", "RC-NVM"}
+
+
+class TestEndToEnd:
+    def test_energy_of_real_query(self):
+        from conftest import make_database, simple_rows
+
+        db = make_database("RC-NVM", verify=False)
+        db.create_table("t", [("a", 8), ("b", 8)], layout="column")
+        db.insert_many("t", simple_rows(512, 2))
+        outcome = db.execute("SELECT SUM(b) FROM t WHERE a > 500")
+        breakdown = energy_of_run("RC-NVM", outcome.timing)
+        assert breakdown.total_nj > 0
+        assert breakdown.dynamic_nj > 0
+
+    def test_rcnvm_uses_less_energy_than_dram_on_scans(self):
+        from conftest import make_database, simple_rows
+
+        consumed = {}
+        for system in ("RC-NVM", "DRAM"):
+            db = make_database(system, verify=False)
+            layout = "column" if db.memory.supports_column else "row"
+            db.create_table("t", [(f"f{i}", 8) for i in range(8)], layout=layout)
+            db.insert_many("t", simple_rows(1024, 8))
+            outcome = db.execute("SELECT SUM(f3) FROM t WHERE f0 > 500")
+            consumed[system] = energy_of_run(system, outcome.timing).total_nj
+        # Fewer requests, shorter runtime, lower standby: a clear win.
+        assert consumed["RC-NVM"] < consumed["DRAM"]

@@ -1,0 +1,151 @@
+"""Executor: results always match the reference engine; traces obey the
+system's capabilities."""
+
+import numpy as np
+import pytest
+
+from conftest import make_database, simple_rows
+from repro.core.addressing import Orientation
+from repro.cpu.trace import Op
+from repro.imdb.sql_parser import parse
+
+QUERIES = [
+    "SELECT * FROM t WHERE f1 > 800",
+    "SELECT * FROM t WHERE f1 > 50",
+    "SELECT f3, f4 FROM t WHERE f1 > 700",
+    "SELECT f3, f4 FROM t WHERE f1 > 100 AND f2 < 600",
+    "SELECT SUM(f2) FROM t WHERE f1 > 300",
+    "SELECT AVG(f3) FROM t WHERE f1 > 300",
+    "SELECT COUNT(f1) FROM t WHERE f2 < 100",
+    "SELECT f2, f4 FROM t",
+    "UPDATE t SET f3 = 1, f4 = 2 WHERE f1 = 500",
+]
+
+
+def build_db(system, layout, n=700, fields=6):
+    db = make_database(system, verify=True)
+    db.create_table("t", [(f"f{i}", 8) for i in range(1, fields + 1)], layout=layout)
+    db.insert_many("t", simple_rows(n, fields, seed=9))
+    return db
+
+
+class TestResultCorrectness:
+    """Every statement, on every system and layout, is checked against the
+    naive reference engine (Database(verify=True) raises on mismatch)."""
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_all_systems_layouts(self, sql, any_system_name, any_layout):
+        db = build_db(any_system_name, any_layout)
+        outcome = db.execute(sql, simulate=False)
+        assert outcome.result is not None
+
+    def test_join_result_matches_reference(self, any_system_name):
+        db = make_database(any_system_name, verify=True)
+        layout = "column" if db.memory.supports_column else "row"
+        db.create_table("a", [("k", 8), ("v", 8), ("w", 8)], layout=layout)
+        db.create_table("b", [("k", 8), ("x", 8), ("y", 8)], layout=layout)
+        rng = np.random.default_rng(4)
+        keys = rng.permutation(200)
+        db.insert_many("a", [(int(k), i, i * 2) for i, k in enumerate(keys)])
+        keys2 = rng.permutation(200)
+        db.insert_many("b", [(int(k), i * 3, i) for i, k in enumerate(keys2)])
+        outcome = db.execute(
+            "SELECT a.v, b.x FROM a, b WHERE a.w > b.y AND a.k = b.k",
+            simulate=False,
+        )
+        assert outcome.result.kind == "rows"
+
+    def test_update_really_mutates(self):
+        db = build_db("RC-NVM", "column")
+        before = int(db.table("t").field_values("f3")[0])
+        outcome = db.execute("UPDATE t SET f3 = 123456", simulate=False)
+        assert outcome.result.count == db.table("t").n_tuples
+        assert int(db.table("t").field_values("f3")[0]) == 123456 != before
+
+    def test_wide_aggregate(self, any_system_name):
+        db = make_database(any_system_name, verify=True)
+        layout = "column" if db.memory.supports_column else "row"
+        db.create_table("w", [("k", 8), ("wide", 32), ("z", 8)], layout=layout)
+        db.insert_many("w", [(i, (i, 2 * i, 3 * i, 4 * i), i) for i in range(100)])
+        outcome = db.execute("SELECT SUM(wide) FROM w", simulate=False)
+        assert outcome.result.value == sum(10 * i for i in range(100))
+
+
+class TestTraceProperties:
+    def test_dram_trace_never_column_oriented(self):
+        db = build_db("DRAM", "row")
+        for sql in QUERIES[:6]:
+            plan = db.plan(sql)
+            _result, trace = db.executor.execute(plan)
+            assert all(a.orientation is not Orientation.COLUMN for a in trace)
+
+    def test_rcnvm_scan_uses_cload(self):
+        db = build_db("RC-NVM", "column")
+        plan = db.plan("SELECT SUM(f2) FROM t WHERE f1 > 300")
+        _result, trace = db.executor.execute(plan)
+        assert any(a.op == Op.CREAD for a in trace)
+
+    def test_gsdram_trace_contains_gathers(self):
+        db = build_db("GS-DRAM", "row", fields=8)  # power-of-two tuple
+        plan = db.plan("SELECT SUM(f2) FROM t WHERE f1 > 300")
+        _result, trace = db.executor.execute(plan)
+        gathers = [a for a in trace if a.op == Op.GATHER]
+        assert gathers
+        assert all(a.coord is not None for a in gathers)
+
+    def test_gather_addresses_unique_per_field(self):
+        db = build_db("GS-DRAM", "row", fields=8)
+        plan = db.plan("SELECT SUM(f2) FROM t WHERE f1 > 300")
+        _result, trace = db.executor.execute(plan)
+        addresses = [a.address for a in trace if a.op == Op.GATHER]
+        assert len(addresses) == len(set(addresses))
+
+    def test_update_trace_contains_stores(self):
+        db = build_db("RC-NVM", "column")
+        plan = db.plan("UPDATE t SET f3 = 9 WHERE f1 > 900")
+        _result, trace = db.executor.execute(plan)
+        assert any(a.is_write for a in trace)
+
+    def test_full_scan_on_rcnvm_column_layout_goes_vertical(self):
+        db = build_db("RC-NVM", "column", n=650)
+        plan = db.plan("SELECT * FROM t WHERE f1 > 10")
+        _result, trace = db.executor.execute(plan)
+        # Tall, narrow COLUMN-layout chunks are scanned column-wise.
+        assert any(a.op == Op.CREAD for a in trace)
+
+    def test_trace_sizes_are_positive_multiples_of_words(self):
+        db = build_db("RC-NVM", "column")
+        plan = db.plan("SELECT f3, f4 FROM t WHERE f1 > 700")
+        _result, trace = db.executor.execute(plan)
+        assert all(a.size > 0 and a.size % 8 == 0 for a in trace)
+
+
+class TestGroupCachingTrace:
+    def build_wide_db(self):
+        db = make_database("RC-NVM", verify=True)
+        db.create_table("w", [("k", 8), ("wide", 32), ("z", 8)], layout="column")
+        db.insert_many("w", [(i, (i, i, i, i), i) for i in range(256)])
+        return db
+
+    def test_grouped_trace_pins_and_unpins(self):
+        db = self.build_wide_db()
+        plan = db.plan("SELECT SUM(wide) FROM w", group_lines=8)
+        _result, trace = db.executor.execute(plan)
+        assert any(a.pin for a in trace)
+        unpins = [a for a in trace if a.op == Op.UNPIN]
+        pins = [a for a in trace if a.pin]
+        assert len(unpins) == len(pins)
+
+    def test_naive_trace_has_no_pins(self):
+        db = self.build_wide_db()
+        plan = db.plan("SELECT SUM(wide) FROM w", group_lines=0)
+        _result, trace = db.executor.execute(plan)
+        assert not any(a.pin for a in trace)
+        assert not any(a.op == Op.UNPIN for a in trace)
+
+    def test_grouped_faster_than_naive(self):
+        db = self.build_wide_db()
+        naive = db.execute("SELECT SUM(wide) FROM w", group_lines=0).cycles
+        db2 = self.build_wide_db()
+        grouped = db2.execute("SELECT SUM(wide) FROM w", group_lines=16).cycles
+        assert grouped < naive

@@ -1,0 +1,91 @@
+"""Geometry: bit widths, derived sizes, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import (
+    DRAM_GEOMETRY,
+    Geometry,
+    RCNVM_GEOMETRY,
+    SMALL_DRAM_GEOMETRY,
+    SMALL_RCNVM_GEOMETRY,
+    WORD_BYTES,
+    WORDS_PER_LINE,
+)
+
+
+class TestConstants:
+    def test_word_is_8_bytes(self):
+        assert WORD_BYTES == 8
+
+    def test_eight_words_per_line(self):
+        assert WORDS_PER_LINE == 8
+
+
+class TestTable1Geometries:
+    def test_rcnvm_is_4gb(self):
+        assert RCNVM_GEOMETRY.total_bytes == 4 << 30
+
+    def test_dram_is_4gb(self):
+        assert DRAM_GEOMETRY.total_bytes == 4 << 30
+
+    def test_rcnvm_row_buffer_is_8kb(self):
+        assert RCNVM_GEOMETRY.row_buffer_bytes == 8192
+
+    def test_rcnvm_column_buffer_is_8kb(self):
+        assert RCNVM_GEOMETRY.column_buffer_bytes == 8192
+
+    def test_dram_row_buffer_is_2kb(self):
+        assert DRAM_GEOMETRY.row_buffer_bytes == 2048
+
+    def test_rcnvm_subarray_is_8mb(self):
+        # Section 4.5.1: "a subarray of RC-NVM (i.e. 8 MB in this work)"
+        assert RCNVM_GEOMETRY.subarray_bytes == 8 << 20
+
+    def test_rcnvm_address_is_32_bits(self):
+        # Figure 7 uses a 32-bit address for the 4 GB system.
+        assert RCNVM_GEOMETRY.address_bits == 32
+
+    def test_dram_address_is_32_bits(self):
+        assert DRAM_GEOMETRY.address_bits == 32
+
+    def test_figure7_field_widths(self):
+        g = RCNVM_GEOMETRY
+        assert (g.channel_bits, g.rank_bits, g.bank_bits) == (1, 2, 3)
+        assert (g.subarray_bits, g.row_bits, g.col_bits, g.offset_bits) == (3, 10, 10, 3)
+
+    def test_total_banks(self):
+        assert RCNVM_GEOMETRY.total_banks == 2 * 4 * 8
+
+    def test_total_subarrays(self):
+        assert RCNVM_GEOMETRY.total_subarrays == 2 * 4 * 8 * 8
+
+
+class TestSmallGeometries:
+    def test_small_sizes_match(self):
+        assert SMALL_RCNVM_GEOMETRY.total_bytes == SMALL_DRAM_GEOMETRY.total_bytes
+
+    def test_small_rcnvm_square_enough(self):
+        g = SMALL_RCNVM_GEOMETRY
+        assert g.rows >= 64 and g.cols >= 64
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["channels", "ranks", "banks", "subarrays", "rows", "cols"])
+    def test_non_power_of_two_rejected(self, field):
+        kwargs = dict(channels=1, ranks=1, banks=2, subarrays=1, rows=16, cols=16)
+        kwargs[field] = 3
+        with pytest.raises(ConfigurationError):
+            Geometry(**kwargs)
+
+    @pytest.mark.parametrize("value", [0, -4])
+    def test_non_positive_rejected(self, value):
+        with pytest.raises(ConfigurationError):
+            Geometry(rows=value)
+
+    def test_derived_bytes_consistent(self):
+        g = Geometry(channels=2, ranks=1, banks=2, subarrays=2, rows=32, cols=16)
+        assert g.subarray_bytes == 32 * 16 * 8
+        assert g.bank_bytes == 2 * g.subarray_bytes
+        assert g.total_bytes == 2 * 1 * 2 * g.bank_bytes
+        assert g.total_bytes == 1 << g.address_bits

@@ -1,0 +1,117 @@
+"""Harness: system factories, report formatting, figure plumbing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import figures, report, systems
+from repro.harness.experiment import measure_query, run_sql_suite
+from repro.workloads.queries import QUERIES
+
+
+class TestSystems:
+    def test_build_all(self):
+        for name in systems.SYSTEM_NAMES:
+            memory = systems.build_system(name, small=True)
+            assert memory.name == name
+
+    def test_unknown_system(self):
+        with pytest.raises(ConfigurationError):
+            systems.build_system("HBM", small=True)
+
+    def test_table1_rows_mention_all_components(self):
+        rows = dict(systems.table1_rows())
+        for component in ("Processor", "L1 cache", "L3 cache", "DRAM", "RRAM", "RC-NVM"):
+            assert component in rows
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = report.format_table(("a", "long header"), [(1, 2.5), (333, 4.0)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_normalize(self):
+        assert report.normalize([2, 4], 2) == [1.0, 2.0]
+        assert report.normalize([2], 0) == [0.0]
+
+    def test_speedup(self):
+        assert report.speedup(100, 50) == 2.0
+        assert report.speedup(1, 0) == float("inf")
+
+    def test_geometric_mean(self):
+        assert report.geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert report.geometric_mean([]) == 0.0
+
+
+class TestStaticFigures:
+    def test_table2_lists_all_queries(self):
+        result = figures.table2()
+        assert len(result.rows) == len(QUERIES)
+
+    def test_figure4_columns(self):
+        result = figures.figure4()
+        rcdram = result.column("RC-DRAM over DRAM")
+        rcnvm = result.column("RC-NVM over RRAM")
+        assert all(d > n for d, n in zip(rcdram, rcnvm))
+
+    def test_figure5_monotone(self):
+        values = figures.figure5().column("Latency overhead")
+        assert values == sorted(values)
+
+    def test_render_contains_title(self):
+        assert "Area overhead" in figures.figure4().render()
+
+
+class TestSuitePlumbing:
+    @pytest.fixture(scope="class")
+    def tiny_suite(self):
+        return run_sql_suite(
+            systems=("RC-NVM", "DRAM"),
+            qids=("Q1", "Q4"),
+            scale=0.02,
+            small=True,
+            cache_config=dict(l1_kib=4, l2_kib=16, l3_kib=64),
+            verify=True,
+        )
+
+    def test_measurements_shape(self, tiny_suite):
+        assert set(tiny_suite) == {"Q1", "Q4"}
+        assert set(tiny_suite["Q1"]) == {"RC-NVM", "DRAM"}
+
+    def test_measurement_fields(self, tiny_suite):
+        m = tiny_suite["Q1"]["RC-NVM"]
+        assert m.cycles > 0 and m.llc_misses > 0
+        assert 0 <= m.buffer_miss_rate <= 1
+        assert m.row()[0] == "Q1"
+
+    def test_figure18_from_measurements(self, tiny_suite):
+        result = figures.figure18(tiny_suite, systems=("RC-NVM", "DRAM"))
+        assert result.headers == ("query", "RC-NVM", "DRAM")
+        assert len(result.rows) == 2
+
+    def test_figure19_20_21(self, tiny_suite):
+        f19 = figures.figure19(tiny_suite, systems=("RC-NVM", "DRAM"))
+        f20 = figures.figure20(tiny_suite, systems=("RC-NVM", "DRAM"))
+        f21 = figures.figure21(tiny_suite)
+        assert len(f19.rows) == len(f20.rows) == len(f21.rows) == 2
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["--list"]) == 0
+        assert "fig18" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["nope"]) == 2
+
+    def test_static_experiments(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["fig4", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Table 2" in out

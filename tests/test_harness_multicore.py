@@ -1,0 +1,61 @@
+"""The 4-core OLXP harness experiment."""
+
+import pytest
+
+from repro.harness.multicore import (
+    DEFAULT_CORE_MIX,
+    build_core_traces,
+    compare_systems,
+    run_multicore_olxp,
+)
+from repro.harness.systems import build_system
+from repro.workloads.suite import build_benchmark_database
+
+SMALL = dict(scale=0.05, small=True, l1_kib=4, llc_kib=128)
+
+
+class TestTraceBuilding:
+    def test_one_trace_per_core(self):
+        db = build_benchmark_database(build_system("RC-NVM", small=True), scale=0.05)
+        traces = build_core_traces(db)
+        assert len(traces) == len(DEFAULT_CORE_MIX)
+        assert all(trace for trace in traces)
+
+    def test_rcnvm_traces_contain_column_accesses(self):
+        from repro.cpu.trace import Op
+
+        db = build_benchmark_database(build_system("RC-NVM", small=True), scale=0.05)
+        traces = build_core_traces(db)
+        assert any(a.op == Op.CREAD for trace in traces for a in trace)
+
+    def test_dram_traces_do_not(self):
+        from repro.cpu.trace import Op
+
+        db = build_benchmark_database(build_system("DRAM", small=True), scale=0.05)
+        traces = build_core_traces(db)
+        assert not any(
+            a.op in (Op.CREAD, Op.CWRITE) for trace in traces for a in trace
+        )
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_systems(("RC-NVM", "DRAM"), **SMALL)
+
+    def test_measurement_fields(self, results):
+        rcnvm = results["RC-NVM"]
+        assert rcnvm.makespan > 0
+        assert len(rcnvm.per_core_cycles) == 4
+        assert rcnvm.makespan == max(rcnvm.per_core_cycles)
+
+    def test_rcnvm_wins_under_contention(self, results):
+        assert results["RC-NVM"].makespan < results["DRAM"].makespan
+
+    def test_synonym_only_on_rcnvm(self, results):
+        assert results["RC-NVM"].synonym != {}
+        assert results["DRAM"].synonym == {}
+
+    def test_mixed_orientations_reached_memory(self, results):
+        memory = results["RC-NVM"].memory
+        assert memory["col_oriented"] > 0 and memory["row_oriented"] > 0

@@ -1,0 +1,116 @@
+"""MemorySystem facade: factories, capabilities, routing, statistics."""
+
+import pytest
+
+from repro.core.addressing import Coordinate, Orientation
+from repro.errors import CapabilityError
+from repro.geometry import DRAM_GEOMETRY, RCNVM_GEOMETRY, SMALL_RCNVM_GEOMETRY
+from repro.memsim.system import (
+    make_dram,
+    make_gsdram,
+    make_rcnvm,
+    make_rram,
+    make_small_dram,
+    make_small_rcnvm,
+)
+
+
+class TestFactories:
+    def test_dram(self):
+        memory = make_dram()
+        assert memory.name == "DRAM"
+        assert not memory.supports_column and not memory.supports_gather
+        assert memory.geometry == DRAM_GEOMETRY
+
+    def test_rram(self):
+        memory = make_rram()
+        assert not memory.supports_column
+        assert memory.geometry == RCNVM_GEOMETRY
+
+    def test_rcnvm(self):
+        memory = make_rcnvm()
+        assert memory.supports_column and not memory.supports_gather
+
+    def test_gsdram(self):
+        memory = make_gsdram()
+        assert memory.supports_gather and not memory.supports_column
+
+    def test_small_variants(self):
+        assert make_small_rcnvm().geometry == SMALL_RCNVM_GEOMETRY
+        assert make_small_dram().geometry.total_bytes == SMALL_RCNVM_GEOMETRY.total_bytes
+
+    def test_controllers_per_channel(self):
+        memory = make_small_rcnvm()
+        assert len(memory.controllers) == memory.geometry.channels
+
+
+class TestCapabilities:
+    def test_column_rejected_on_dram(self):
+        memory = make_small_dram()
+        coord = Coordinate(0, 0, 0, 0, 0, 0)
+        with pytest.raises(CapabilityError):
+            memory.request_for_coord(coord, Orientation.COLUMN, False, 0)
+
+    def test_gather_rejected_on_rcnvm(self):
+        memory = make_small_rcnvm()
+        coord = Coordinate(0, 0, 0, 0, 0, 0)
+        with pytest.raises(CapabilityError):
+            memory.request_for_coord(coord, Orientation.GATHER, False, 0)
+
+    def test_column_accepted_on_rcnvm(self):
+        memory = make_small_rcnvm()
+        coord = Coordinate(0, 0, 0, 0, 0, 0)
+        req = memory.request_for_coord(coord, Orientation.COLUMN, False, 0)
+        assert memory.completion_of(req) > 0
+
+
+class TestRouting:
+    def test_requests_route_by_channel(self):
+        memory = make_small_rcnvm()
+        c0 = Coordinate(0, 0, 0, 0, 0, 0)
+        c1 = Coordinate(1, 0, 0, 0, 0, 0)
+        memory.request_for_coord(c0, Orientation.ROW, False, 0)
+        memory.request_for_coord(c1, Orientation.ROW, False, 0)
+        assert len(memory.controllers[0].pending) == 1
+        assert len(memory.controllers[1].pending) == 1
+
+    def test_request_for_line_decodes_column_space(self):
+        memory = make_small_rcnvm()
+        coord = Coordinate(0, 0, 1, 1, 32, 5)
+        address = memory.mapper.encode_col(coord)
+        req = memory.request_for_line(address, Orientation.COLUMN, False, 0)
+        assert (req.bank, req.subarray, req.row, req.col) == (1, 1, 32, 5)
+        assert req.buffer_kind is Orientation.COLUMN
+        assert req.buffer_index == 5
+
+    def test_access_convenience(self):
+        memory = make_small_rcnvm()
+        completion = memory.access(Coordinate(0, 0, 0, 0, 3, 3), Orientation.ROW, False, 0)
+        assert completion > 0
+
+
+class TestStats:
+    def test_stats_merge_channels(self):
+        memory = make_small_rcnvm()
+        memory.access(Coordinate(0, 0, 0, 0, 0, 0), Orientation.ROW, False, 0)
+        memory.access(Coordinate(1, 0, 0, 0, 0, 0), Orientation.ROW, False, 0)
+        assert memory.stats.reads == 2
+
+    def test_reset_clears(self):
+        memory = make_small_rcnvm()
+        memory.access(Coordinate(0, 0, 0, 0, 0, 0), Orientation.ROW, False, 0)
+        memory.reset()
+        assert memory.stats.accesses == 0
+
+    def test_drain_returns_last_completion(self):
+        memory = make_small_rcnvm()
+        req = memory.request_for_coord(Coordinate(0, 0, 0, 0, 0, 0), Orientation.ROW, False, 0)
+        last = memory.drain()
+        assert last >= req.completion
+
+    def test_snapshot_has_derived_fields(self):
+        memory = make_small_rcnvm()
+        memory.access(Coordinate(0, 0, 0, 0, 0, 0), Orientation.ROW, False, 0)
+        snap = memory.stats.snapshot()
+        assert snap["accesses"] == 1
+        assert "buffer_miss_rate" in snap and "average_latency" in snap

@@ -1,0 +1,91 @@
+"""The paper's Figure 8 worked example, verbatim.
+
+Figure 8 states that one 8-byte datum at physical location (row 437,
+col 182) carries the row-oriented address 0x0036a5b0 and the
+column-oriented address 0x0016cda8.  Our Figure 7 address layout must
+reproduce those exact numbers — a strong end-to-end check of the bit
+packing — and the cache/synonym machinery must then behave as the
+figure describes when both lines are resident.
+"""
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.line import line_key
+from repro.cache.synonym import SynonymDirectory
+from repro.core.addressing import AddressMapper, Coordinate, Orientation
+from repro.geometry import RCNVM_GEOMETRY
+
+ROW_ADDRESS = 0x0036A5B0
+COL_ADDRESS = 0x0016CDA8
+LOCATION = Coordinate(channel=0, rank=0, bank=0, subarray=0, row=437, col=182)
+
+
+class TestFigure8Addresses:
+    def test_row_oriented_address(self):
+        mapper = AddressMapper(RCNVM_GEOMETRY)
+        assert mapper.encode_row(LOCATION) == ROW_ADDRESS
+
+    def test_column_oriented_address(self):
+        mapper = AddressMapper(RCNVM_GEOMETRY)
+        assert mapper.encode_col(LOCATION) == COL_ADDRESS
+
+    def test_conversion_between_the_two(self):
+        mapper = AddressMapper(RCNVM_GEOMETRY)
+        assert mapper.row_to_col_address(ROW_ADDRESS) == COL_ADDRESS
+        assert mapper.col_to_row_address(COL_ADDRESS) == ROW_ADDRESS
+
+    def test_decode_both_to_row_437_col_182(self):
+        mapper = AddressMapper(RCNVM_GEOMETRY)
+        row_coord = mapper.decode_row(ROW_ADDRESS)
+        col_coord = mapper.decode_col(COL_ADDRESS)
+        assert (row_coord.row, row_coord.col) == (437, 182)
+        assert row_coord == col_coord
+
+
+class TestFigure8CacheBehaviour:
+    """Loading the datum under both addresses creates the synonym the
+    figure illustrates; the crossing bits must mark exactly the shared
+    word."""
+
+    def make_hierarchy(self):
+        mapper = AddressMapper(RCNVM_GEOMETRY)
+        synonym = SynonymDirectory(mapper)
+        # The figure's cache: 64 KB, 4-way, 64-byte blocks.
+        hierarchy = CacheHierarchy(
+            [Cache("L1", 64 * 1024, 4, hit_latency=4)], synonym=synonym
+        )
+        return mapper, synonym, hierarchy
+
+    def test_two_lines_one_crossing_word(self):
+        mapper, synonym, hierarchy = self.make_hierarchy()
+        row_key = line_key(ROW_ADDRESS, Orientation.ROW)
+        col_key = line_key(COL_ADDRESS, Orientation.COLUMN)
+        hierarchy.fill(col_key, False)
+        hierarchy.fill(row_key, False)
+        row_line = hierarchy.llc.probe(row_key)
+        col_line = hierarchy.llc.probe(col_key)
+        # The row line covers cols 176..183 of row 437: the shared word
+        # (col 182) is its word 6.  The column line covers rows 432..439
+        # of col 182: the shared word (row 437) is its word 5.
+        assert row_line.crossing == 1 << 6
+        assert col_line.crossing == 1 << 5
+        assert synonym.stats.crossing_copies == 1
+
+    def test_write_to_shared_word_updates_duplicate(self):
+        mapper, synonym, hierarchy = self.make_hierarchy()
+        row_key = line_key(ROW_ADDRESS, Orientation.ROW)
+        col_key = line_key(COL_ADDRESS, Orientation.COLUMN)
+        hierarchy.fill(col_key, False)
+        hierarchy.fill(row_key, False)
+        _level, extra = hierarchy.lookup(row_key, True, word_mask=1 << 6)
+        assert extra == synonym.WRITE_UPDATE_COST
+        assert synonym.stats.write_updates == 1
+
+    def test_write_to_other_words_is_free(self):
+        mapper, synonym, hierarchy = self.make_hierarchy()
+        row_key = line_key(ROW_ADDRESS, Orientation.ROW)
+        col_key = line_key(COL_ADDRESS, Orientation.COLUMN)
+        hierarchy.fill(col_key, False)
+        hierarchy.fill(row_key, False)
+        _level, extra = hierarchy.lookup(row_key, True, word_mask=0xFF ^ (1 << 6))
+        assert extra == 0

@@ -1,0 +1,109 @@
+"""Functional memory: lazy subarrays, runs, bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.addressing import Coordinate
+from repro.errors import AddressError
+from repro.geometry import RCNVM_GEOMETRY, SMALL_RCNVM_GEOMETRY
+from repro.imdb.physmem import PhysicalMemory
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(SMALL_RCNVM_GEOMETRY)
+
+
+class TestLaziness:
+    def test_nothing_materialized_initially(self, mem):
+        assert mem.materialized_subarrays == 0
+
+    def test_full_geometry_is_cheap(self):
+        # The 4 GB Table 1 geometry is usable: only touched subarrays
+        # allocate backing storage.
+        big = PhysicalMemory(RCNVM_GEOMETRY)
+        big.write_cell(100, 5, 5, 42)
+        assert big.materialized_subarrays == 1
+        assert big.read_cell(100, 5, 5) == 42
+
+    def test_subarray_shape(self, mem):
+        grid = mem.subarray(0)
+        assert grid.shape == (SMALL_RCNVM_GEOMETRY.rows, SMALL_RCNVM_GEOMETRY.cols)
+        assert grid.dtype == np.int64
+
+    def test_out_of_range_subarray(self, mem):
+        with pytest.raises(AddressError):
+            mem.subarray(SMALL_RCNVM_GEOMETRY.total_subarrays)
+
+
+class TestSubarrayCoord:
+    def test_roundtrip(self, mem):
+        for index in (0, 1, 7, mem.geometry.total_subarrays - 1):
+            channel, rank, bank, sub = mem.subarray_coord(index)
+            coord = Coordinate(channel, rank, bank, sub, 0, 0)
+            assert mem.mapper.subarray_index(coord) == index
+
+    def test_coordinate_builder(self, mem):
+        coord = mem.coordinate(3, 10, 20)
+        assert (coord.row, coord.col) == (10, 20)
+        assert mem.mapper.subarray_index(coord) == 3
+
+
+class TestCellAccess:
+    def test_write_read_cell(self, mem):
+        mem.write_cell(2, 3, 4, -17)
+        assert mem.read_cell(2, 3, 4) == -17
+
+    def test_coord_access(self, mem):
+        coord = mem.coordinate(5, 7, 9)
+        mem.write_coord(coord, 99)
+        assert mem.read_coord(coord) == 99
+
+
+class TestRuns:
+    def test_vertical_roundtrip(self, mem):
+        values = np.arange(10, dtype=np.int64)
+        mem.write_vertical(0, col=3, row_start=5, values=values)
+        out = mem.read_vertical(0, col=3, row_start=5, count=10)
+        assert (out == values).all()
+
+    def test_horizontal_roundtrip(self, mem):
+        values = np.arange(16, dtype=np.int64) * 3
+        mem.write_horizontal(1, row=2, col_start=8, values=values)
+        out = mem.read_horizontal(1, row=2, col_start=8, count=16)
+        assert (out == values).all()
+
+    def test_vertical_and_horizontal_agree(self, mem):
+        mem.write_cell(0, 10, 20, 1234)
+        assert mem.read_vertical(0, 20, 10, 1)[0] == 1234
+        assert mem.read_horizontal(0, 10, 20, 1)[0] == 1234
+
+    def test_strided_read(self, mem):
+        for i in range(6):
+            mem.write_cell(0, 4 * i, 7, i)
+        out = mem.read_strided(0, col=7, row_start=0, stride=4, count=6)
+        assert list(out) == [0, 1, 2, 3, 4, 5]
+
+    def test_read_returns_copy(self, mem):
+        mem.write_cell(0, 0, 0, 5)
+        out = mem.read_horizontal(0, 0, 0, 4)
+        out[0] = 999
+        assert mem.read_cell(0, 0, 0) == 5
+
+
+class TestBounds:
+    def test_vertical_overflow(self, mem):
+        with pytest.raises(AddressError):
+            mem.read_vertical(0, 0, SMALL_RCNVM_GEOMETRY.rows - 2, 5)
+
+    def test_horizontal_overflow(self, mem):
+        with pytest.raises(AddressError):
+            mem.read_horizontal(0, 0, SMALL_RCNVM_GEOMETRY.cols - 1, 3)
+
+    def test_bad_column(self, mem):
+        with pytest.raises(AddressError):
+            mem.read_vertical(0, SMALL_RCNVM_GEOMETRY.cols, 0, 1)
+
+    def test_negative_start(self, mem):
+        with pytest.raises(AddressError):
+            mem.read_horizontal(0, 0, -1, 2)

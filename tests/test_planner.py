@@ -1,0 +1,142 @@
+"""Query planner: scan/fetch method selection per system."""
+
+import pytest
+
+from conftest import make_database, simple_rows
+from repro.errors import SqlError
+from repro.imdb.planner import (
+    AggregatePlan,
+    FetchMethod,
+    FilterFetchPlan,
+    JoinPlan,
+    OrderedProjectionPlan,
+    ScanMethod,
+    UpdatePlan,
+    WideAggregatePlan,
+)
+
+
+def db_with_table(system="RC-NVM", n=512, fields=8, layout=None):
+    db = make_database(system, verify=False)
+    layout = layout or ("column" if db.memory.supports_column else "row")
+    names = [(f"f{i}", 8) for i in range(1, fields + 1)]
+    db.create_table("t", names, layout=layout)
+    db.insert_many("t", simple_rows(n, fields))
+    return db
+
+
+class TestScanMethods:
+    def test_rcnvm_uses_column_scans(self):
+        db = db_with_table("RC-NVM")
+        plan = db.plan("SELECT SUM(f2) FROM t WHERE f1 > 500")
+        assert isinstance(plan, AggregatePlan)
+        assert plan.scan_method is ScanMethod.COLUMN
+
+    def test_dram_uses_row_scans(self):
+        db = db_with_table("DRAM")
+        plan = db.plan("SELECT SUM(f2) FROM t WHERE f1 > 500")
+        assert plan.scan_method is ScanMethod.ROW
+
+    def test_gsdram_gathers_power_of_two_tuples(self):
+        db = db_with_table("GS-DRAM", fields=8)  # 8 words: power of two
+        plan = db.plan("SELECT SUM(f2) FROM t WHERE f1 > 500")
+        assert plan.scan_method is ScanMethod.GATHER
+
+    def test_gsdram_falls_back_on_odd_tuples(self):
+        db = db_with_table("GS-DRAM", fields=5)  # 5 words: not a power of two
+        plan = db.plan("SELECT SUM(f2) FROM t WHERE f1 > 500")
+        assert plan.scan_method is ScanMethod.ROW
+
+
+class TestFetchMethods:
+    def test_star_selective_fetches_rows(self):
+        db = db_with_table("RC-NVM")
+        plan = db.plan("SELECT * FROM t WHERE f1 > 990")
+        assert isinstance(plan, FilterFetchPlan)
+        assert plan.output_fields is None
+        assert plan.fetch_method is FetchMethod.ROW
+
+    def test_star_unselective_degenerates_to_full_scan(self):
+        db = db_with_table("RC-NVM")
+        plan = db.plan("SELECT * FROM t WHERE f1 > 10")
+        assert plan.fetch_method is FetchMethod.FULL_SCAN
+
+    def test_selectivity_hint_overrides_statistics(self):
+        db = db_with_table("RC-NVM")
+        plan = db.plan("SELECT * FROM t WHERE f1 > 990", selectivity_hint=0.99)
+        assert plan.fetch_method is FetchMethod.FULL_SCAN
+
+    def test_narrow_projection_uses_column_fetch_on_rcnvm(self):
+        db = db_with_table("RC-NVM")
+        plan = db.plan("SELECT f3, f4 FROM t WHERE f1 > 990")
+        assert plan.fetch_method is FetchMethod.COLUMN
+
+    def test_narrow_projection_row_fetch_on_dram(self):
+        db = db_with_table("DRAM")
+        plan = db.plan("SELECT f3, f4 FROM t WHERE f1 > 990")
+        assert plan.fetch_method is FetchMethod.ROW
+
+    def test_wide_projection_row_fetch_on_rcnvm(self):
+        db = db_with_table("RC-NVM", fields=4)
+        plan = db.plan("SELECT f1, f2, f3 FROM t WHERE f4 > 990")
+        assert plan.fetch_method is FetchMethod.ROW
+
+
+class TestSpecialPlans:
+    def test_ordered_projection_without_predicate(self):
+        db = db_with_table("RC-NVM")
+        plan = db.plan("SELECT f3, f6 FROM t", group_lines=32)
+        assert isinstance(plan, OrderedProjectionPlan)
+        assert plan.group_lines == 32
+
+    def test_group_lines_zero_on_conventional(self):
+        db = db_with_table("DRAM")
+        plan = db.plan("SELECT f3, f6 FROM t", group_lines=64)
+        assert plan.group_lines == 0
+
+    def test_wide_aggregate_plan(self):
+        db = make_database("RC-NVM", verify=False)
+        db.create_table("w", [("k", 8), ("wide", 32)], layout="column")
+        db.insert_many("w", [(i, (i, i, i, i)) for i in range(64)])
+        plan = db.plan("SELECT SUM(wide) FROM w", group_lines=16)
+        assert isinstance(plan, WideAggregatePlan)
+        assert plan.words == 4
+
+    def test_update_plan(self):
+        db = db_with_table("RC-NVM")
+        plan = db.plan("UPDATE t SET f2 = 7 WHERE f1 = 3")
+        assert isinstance(plan, UpdatePlan)
+        assert plan.assignments == (("f2", 7),)
+
+    def test_join_plan(self):
+        db = db_with_table("RC-NVM")
+        db.create_table("u", [(f"g{i}", 8) for i in range(1, 5)], layout="column")
+        db.insert_many("u", simple_rows(64, 4, seed=3))
+        plan = db.plan(
+            "SELECT t.f3, u.g2 FROM t, u WHERE t.f1 = u.g1"
+        )
+        assert isinstance(plan, JoinPlan)
+        assert (plan.left_key, plan.right_key) == ("f1", "g1")
+
+
+class TestParams:
+    def test_parameter_binding(self):
+        db = db_with_table("RC-NVM")
+        plan = db.plan("SELECT SUM(f2) FROM t WHERE f1 > x", params={"x": 123})
+        assert plan.predicates[0].value == 123
+
+    def test_unbound_parameter_rejected(self):
+        db = db_with_table("RC-NVM")
+        with pytest.raises(SqlError):
+            db.plan("SELECT SUM(f2) FROM t WHERE f1 > x")
+
+    def test_constant_on_left_is_flipped(self):
+        db = db_with_table("RC-NVM")
+        plan = db.plan("SELECT SUM(f2) FROM t WHERE 100 < f1")
+        predicate = plan.predicates[0]
+        assert (predicate.field, predicate.op, predicate.value) == ("f1", ">", 100)
+
+    def test_unknown_column_rejected(self):
+        db = db_with_table("RC-NVM")
+        with pytest.raises(SqlError):
+            db.plan("SELECT SUM(f2) FROM t WHERE nosuch > 5")

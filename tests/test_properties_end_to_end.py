@@ -1,0 +1,111 @@
+"""End-to-end property tests: random data, random queries, every system.
+
+The central correctness invariant of the whole stack: for any table
+contents and any statement in our SQL subset, the executor's result on
+any simulated system and layout equals the naive reference engine's.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from conftest import SMALL_CACHES, make_database
+
+FIELDS = ["f1", "f2", "f3", "f4", "f5"]
+OPS = [">", "<", ">=", "<=", "=", "!="]
+
+
+@st.composite
+def table_data(draw):
+    n = draw(st.integers(1, 120))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    # Small value range on purpose: makes equality predicates non-trivial.
+    return rng.integers(0, 40, size=(n, len(FIELDS))).tolist()
+
+
+@st.composite
+def statements(draw):
+    kind = draw(st.sampled_from(["project", "star", "agg", "update"]))
+    predicates = []
+    for _ in range(draw(st.integers(0, 2))):
+        field = draw(st.sampled_from(FIELDS))
+        op = draw(st.sampled_from(OPS))
+        value = draw(st.integers(-5, 45))
+        predicates.append(f"{field} {op} {value}")
+    where = f" WHERE {' AND '.join(predicates)}" if predicates else ""
+    if kind == "project":
+        fields = draw(st.lists(st.sampled_from(FIELDS), min_size=1, max_size=3,
+                               unique=True))
+        return f"SELECT {', '.join(fields)} FROM t{where}"
+    if kind == "star":
+        return f"SELECT * FROM t{where}"
+    if kind == "agg":
+        func = draw(st.sampled_from(["SUM", "AVG", "COUNT"]))
+        field = draw(st.sampled_from(FIELDS))
+        return f"SELECT {func}({field}) FROM t{where}"
+    field = draw(st.sampled_from(FIELDS))
+    value = draw(st.integers(0, 100))
+    return f"UPDATE t SET {field} = {value}{where}"
+
+
+class TestExecutorEqualsReference:
+    @pytest.mark.parametrize("system_name", ["RC-NVM", "DRAM", "GS-DRAM"])
+    @given(rows=table_data(), sql=statements())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_statements(self, system_name, rows, sql):
+        db = make_database(system_name, verify=True)
+        layout = "column" if db.memory.supports_column else "row"
+        db.create_table("t", [(f, 8) for f in FIELDS], layout=layout)
+        db.insert_many("t", [tuple(row) for row in rows])
+        # verify=True raises if executor and reference disagree.
+        outcome = db.execute(sql, simulate=False)
+        assert outcome.result is not None
+
+    @given(rows=table_data(), sql=statements())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_row_layout_on_rcnvm_agrees_too(self, rows, sql):
+        db = make_database("RC-NVM", verify=True)
+        db.create_table("t", [(f, 8) for f in FIELDS], layout="row")
+        db.insert_many("t", [tuple(row) for row in rows])
+        db.execute(sql, simulate=False)
+
+
+class TestTimingSanity:
+    @given(rows=table_data())
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_cycles_positive_and_deterministic(self, rows):
+        db = make_database("RC-NVM", verify=False)
+        db.create_table("t", [(f, 8) for f in FIELDS], layout="column")
+        db.insert_many("t", [tuple(row) for row in rows])
+        sql = "SELECT SUM(f2) FROM t WHERE f1 > 10"
+        first = db.execute(sql).cycles
+        second = db.execute(sql).cycles
+        assert first == second > 0
+
+    @given(rows=table_data())
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_memory_accesses_bounded_by_lines_touched(self, rows):
+        db = make_database("RC-NVM", verify=False)
+        db.create_table("t", [(f, 8) for f in FIELDS], layout="column")
+        db.insert_many("t", [tuple(row) for row in rows])
+        outcome = db.execute("SELECT f1, f3 FROM t")
+        timing = outcome.timing
+        assert timing.llc_misses <= timing.lines_touched
+        assert timing.memory["reads"] >= timing.llc_misses

@@ -1,0 +1,87 @@
+"""Reference engine semantics (ground truth for the executor)."""
+
+import pytest
+
+from conftest import make_database
+from repro.errors import SqlError
+from repro.imdb.sql_parser import parse
+
+
+@pytest.fixture
+def db():
+    database = make_database("RC-NVM", verify=False)
+    database.create_table("t", [("a", 8), ("b", 8), ("c", 8)], layout="column")
+    database.insert_many(
+        "t", [(i, i * 10, 100 - i) for i in range(10)]
+    )
+    return database
+
+
+class TestSelect:
+    def test_projection(self, db):
+        result = db.reference.execute(parse("SELECT a, c FROM t WHERE a < 3"))
+        assert result.rows == [(0, 100), (1, 99), (2, 98)]
+
+    def test_star(self, db):
+        result = db.reference.execute(parse("SELECT * FROM t WHERE a = 5"))
+        assert result.rows == [(5, 50, 95)]
+
+    def test_sum(self, db):
+        result = db.reference.execute(parse("SELECT SUM(b) FROM t WHERE a >= 8"))
+        assert result.value == 80 + 90
+
+    def test_avg(self, db):
+        result = db.reference.execute(parse("SELECT AVG(a) FROM t"))
+        assert result.value == pytest.approx(4.5)
+
+    def test_count(self, db):
+        result = db.reference.execute(parse("SELECT COUNT(a) FROM t WHERE a != 0"))
+        assert result.value == 9
+
+    def test_empty_aggregate(self, db):
+        result = db.reference.execute(parse("SELECT SUM(a) FROM t WHERE a > 1000"))
+        assert result.value == 0
+
+    def test_params(self, db):
+        result = db.reference.execute(
+            parse("SELECT COUNT(a) FROM t WHERE a > x"), params={"x": 7}
+        )
+        assert result.value == 2
+
+    def test_flipped_constant(self, db):
+        result = db.reference.execute(parse("SELECT COUNT(a) FROM t WHERE 7 < a"))
+        assert result.value == 2
+
+
+class TestJoin:
+    def test_equijoin(self, db):
+        db.create_table("u", [("a", 8), ("z", 8)], layout="column")
+        db.insert_many("u", [(i, i * 1000) for i in range(0, 10, 2)])
+        result = db.reference.execute(
+            parse("SELECT t.b, u.z FROM t, u WHERE t.a = u.a")
+        )
+        assert sorted(result.rows) == [(i * 10, i * 1000) for i in range(0, 10, 2)]
+
+    def test_join_with_inequality(self, db):
+        db.create_table("v", [("a", 8), ("c", 8)], layout="column")
+        db.insert_many("v", [(i, i) for i in range(10)])
+        result = db.reference.execute(
+            parse("SELECT t.a, v.a FROM t, v WHERE t.c > v.c AND t.a = v.a")
+        )
+        # t.c = 100 - i, v.c = i: 100 - i > i for i < 50 -> all 10 rows.
+        assert len(result.rows) == 10
+
+    def test_join_requires_equality(self, db):
+        db.create_table("w", [("a", 8)], layout="column")
+        db.insert_many("w", [(1,)])
+        with pytest.raises(SqlError):
+            db.reference.execute(parse("SELECT t.a, w.a FROM t, w WHERE t.a > w.a"))
+
+
+class TestUpdate:
+    def test_count_only_no_mutation(self, db):
+        result = db.reference.execute(parse("UPDATE t SET b = 0 WHERE a < 4"))
+        assert result.count == 4
+        # Reference never mutates.
+        assert int(db.table("t").field_values("b")[0]) == 0 * 10
+        assert int(db.table("t").field_values("b")[3]) == 30

@@ -1,0 +1,106 @@
+"""Schemas: field validation, offsets, pack/unpack."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.imdb.schema import Field, Schema
+
+
+class TestField:
+    def test_default_width(self):
+        assert Field("f1").nbytes == 8
+        assert Field("f1").words == 1
+        assert not Field("f1").is_wide
+
+    def test_wide_field(self):
+        field = Field("email", 32)
+        assert field.words == 4
+        assert field.is_wide
+
+    @pytest.mark.parametrize("nbytes", [0, 4, 12, -8])
+    def test_bad_widths(self, nbytes):
+        with pytest.raises(LayoutError):
+            Field("bad", nbytes)
+
+
+class TestSchema:
+    def test_offsets(self):
+        schema = Schema([("a", 8), ("b", 16), ("c", 8)])
+        assert schema.offset_words("a") == 0
+        assert schema.offset_words("b") == 1
+        assert schema.offset_words("c") == 3
+        assert schema.tuple_words == 4
+        assert schema.tuple_bytes == 32
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(LayoutError):
+            Schema([("a", 8), ("a", 8)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            Schema([])
+
+    def test_unknown_field(self):
+        schema = Schema([("a", 8)])
+        with pytest.raises(LayoutError):
+            schema.field("zz")
+
+    def test_contains_and_names(self):
+        schema = Schema([("a", 8), ("b", 8)])
+        assert "a" in schema and "zz" not in schema
+        assert schema.field_names() == ["a", "b"]
+
+    def test_accepts_field_objects(self):
+        schema = Schema([Field("x", 8)])
+        assert schema.tuple_words == 1
+
+
+class TestPackUnpack:
+    def test_simple_roundtrip(self):
+        schema = Schema([("a", 8), ("b", 8)])
+        words = schema.pack((1, -2))
+        assert words == [1, -2]
+        assert schema.unpack(words) == (1, -2)
+
+    def test_wide_roundtrip_with_words(self):
+        schema = Schema([("a", 8), ("w", 24)])
+        words = schema.pack((7, (1, 2, 3)))
+        assert words == [7, 1, 2, 3]
+        assert schema.unpack(words) == (7, (1, 2, 3))
+
+    def test_wide_single_int(self):
+        schema = Schema([("w", 16)])
+        assert schema.pack((9,)) == [9, 0]
+
+    def test_wide_bytes(self):
+        schema = Schema([("w", 16)])
+        words = schema.pack((b"ab",))
+        assert schema.unpack(words)[0][0] == int.from_bytes(
+            b"ab".ljust(8, b"\0"), "little", signed=True
+        )
+
+    def test_bytes_too_long(self):
+        schema = Schema([("w", 8)])
+        with pytest.raises(LayoutError):
+            schema.pack((b"123456789",))
+
+    def test_wrong_value_count(self):
+        schema = Schema([("a", 8), ("b", 8)])
+        with pytest.raises(LayoutError):
+            schema.pack((1,))
+
+    def test_wrong_word_count_for_wide(self):
+        schema = Schema([("w", 16)])
+        with pytest.raises(LayoutError):
+            schema.pack(((1, 2, 3),))
+
+    def test_unpack_wrong_length(self):
+        schema = Schema([("a", 8)])
+        with pytest.raises(LayoutError):
+            schema.unpack([1, 2])
+
+    @given(values=st.lists(st.integers(-(2**62), 2**62), min_size=3, max_size=3))
+    def test_roundtrip_property(self, values):
+        schema = Schema([("a", 8), ("b", 8), ("c", 8)])
+        assert schema.unpack(schema.pack(values)) == tuple(values)

@@ -1,0 +1,134 @@
+"""SQL lexer and parser over the Table 2 grammar."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.imdb.sql_ast import (
+    Aggregate,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Select,
+    Star,
+    Update,
+)
+from repro.imdb.sql_lexer import Token, tokenize
+from repro.imdb.sql_parser import parse
+from repro.workloads.queries import QUERIES
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("select * from t")]
+        assert kinds == ["SELECT", "STAR", "FROM", "IDENT", "EOF"]
+
+    def test_dashed_identifier(self):
+        tokens = tokenize("table-a")
+        assert tokens[0] == Token("IDENT", "table-a", 0)
+
+    def test_qualified_name_tokens(self):
+        kinds = [t.kind for t in tokenize("table-a.f3")]
+        assert kinds == ["IDENT", "DOT", "IDENT", "EOF"]
+
+    def test_operators(self):
+        texts = [t.text for t in tokenize("a >= 1 AND b <> 2") if t.kind == "OP"]
+        assert texts == [">=", "!="]
+
+    def test_negative_number(self):
+        tokens = tokenize("x > -5")
+        assert ("NUMBER", "-5") in [(t.kind, t.text) for t in tokens]
+
+    def test_semicolon_ignored(self):
+        assert tokenize("SELECT * FROM t;")[-1].kind == "EOF"
+
+    def test_bad_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT ~ FROM t")
+
+
+class TestSelectParsing:
+    def test_star(self):
+        ast = parse("SELECT * FROM table-b WHERE f10 > x")
+        assert isinstance(ast, Select)
+        assert ast.items == (Star(),)
+        assert ast.tables == ("table-b",)
+        assert ast.where == (
+            Comparison(">", ColumnRef("f10"), ColumnRef("x")),
+        )
+
+    def test_projection(self):
+        ast = parse("SELECT f3, f4 FROM table-a")
+        assert ast.items == (ColumnRef("f3"), ColumnRef("f4"))
+        assert ast.where == ()
+
+    def test_aggregate(self):
+        ast = parse("SELECT SUM(f9) FROM table-a WHERE f10 > 5")
+        assert ast.items == (Aggregate("SUM", ColumnRef("f9")),)
+        assert ast.where[0].right == Literal(5)
+
+    def test_avg_and_count(self):
+        assert parse("SELECT AVG(f1) FROM t").items[0].func == "AVG"
+        assert parse("SELECT COUNT(f1) FROM t").items[0].func == "COUNT"
+
+    def test_join_form(self):
+        ast = parse(
+            "SELECT table-a.f3, table-b.f4 FROM table-a, table-b "
+            "WHERE table-a.f1 > table-b.f1 AND table-a.f9 = table-b.f9"
+        )
+        assert ast.tables == ("table-a", "table-b")
+        assert ast.items[0] == ColumnRef("f3", "table-a")
+        assert len(ast.where) == 2
+        assert ast.where[1].op == "="
+
+    def test_conjunction(self):
+        ast = parse("SELECT f1 FROM t WHERE f1 > 1 AND f2 < 2 AND f3 = 3")
+        assert [c.op for c in ast.where] == [">", "<", "="]
+
+
+class TestUpdateParsing:
+    def test_update(self):
+        ast = parse("UPDATE table-b SET f3 = x, f4 = y WHERE f10 = z")
+        assert isinstance(ast, Update)
+        assert ast.table == "table-b"
+        assert [a.column for a in ast.assignments] == ["f3", "f4"]
+        assert ast.where[0].op == "="
+
+    def test_update_with_literal(self):
+        ast = parse("UPDATE t SET a = 5")
+        assert ast.assignments[0].value == Literal(5)
+        assert ast.where == ()
+
+    def test_update_requires_equals(self):
+        with pytest.raises(SqlError):
+            parse("UPDATE t SET a > 5")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "DELETE FROM t",
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * t",
+            "SELECT * FROM t WHERE",
+            "SELECT SUM f1 FROM t",
+            "SELECT * FROM t extra",
+        ],
+    )
+    def test_rejects(self, sql):
+        with pytest.raises(SqlError):
+            parse(sql)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("qid", list(QUERIES))
+    def test_all_benchmark_queries_parse(self, qid):
+        ast = parse(QUERIES[qid].sql)
+        assert isinstance(ast, (Select, Update))
+
+    @pytest.mark.parametrize("qid", list(QUERIES))
+    def test_str_reparses(self, qid):
+        ast = parse(QUERIES[qid].sql)
+        assert parse(str(ast)) == ast

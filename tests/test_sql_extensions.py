@@ -1,0 +1,135 @@
+"""MIN/MAX aggregates, ORDER BY, LIMIT — parsing through execution."""
+
+import pytest
+
+from conftest import make_database, simple_rows
+from repro.errors import SqlError
+from repro.imdb.sql_ast import OrderBy
+from repro.imdb.sql_parser import parse
+
+
+def loaded_db(system="RC-NVM", n=400):
+    db = make_database(system, verify=True)
+    layout = "column" if db.memory.supports_column else "row"
+    db.create_table("t", [("a", 8), ("b", 8), ("c", 8)], layout=layout)
+    db.insert_many("t", simple_rows(n, 3, seed=11))
+    return db
+
+
+class TestParsing:
+    def test_order_by(self):
+        ast = parse("SELECT a FROM t ORDER BY a")
+        assert ast.order_by == OrderBy(ast.items[0], descending=False)
+
+    def test_order_by_desc(self):
+        assert parse("SELECT a FROM t ORDER BY a DESC").order_by.descending
+
+    def test_order_by_asc_explicit(self):
+        assert not parse("SELECT a FROM t ORDER BY a ASC").order_by.descending
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_order_and_limit_roundtrip(self):
+        sql = "SELECT a, b FROM t WHERE c > 1 ORDER BY b DESC LIMIT 3"
+        ast = parse(sql)
+        assert parse(str(ast)) == ast
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t LIMIT -1")
+
+    def test_min_max_parse(self):
+        assert parse("SELECT MIN(a) FROM t").items[0].func == "MIN"
+        assert parse("SELECT MAX(a) FROM t").items[0].func == "MAX"
+
+
+class TestMinMax:
+    @pytest.mark.parametrize("system", ["RC-NVM", "DRAM"])
+    def test_min_max_match_reference(self, system):
+        db = loaded_db(system)
+        low = db.execute("SELECT MIN(b) FROM t WHERE a > 500", simulate=False)
+        high = db.execute("SELECT MAX(b) FROM t WHERE a > 500", simulate=False)
+        assert low.result.value <= high.result.value
+
+    def test_empty_selection(self):
+        db = loaded_db()
+        outcome = db.execute("SELECT MIN(a) FROM t WHERE a > 100000", simulate=False)
+        assert outcome.result.value is None
+
+
+class TestOrderBy:
+    def test_rows_sorted_ascending(self):
+        db = loaded_db()
+        outcome = db.execute("SELECT a, b FROM t WHERE c > 500 ORDER BY a")
+        values = [row[0] for row in outcome.result.rows]
+        assert values == sorted(values)
+        assert outcome.result.ordered
+
+    def test_rows_sorted_descending(self):
+        db = loaded_db()
+        outcome = db.execute("SELECT a, b FROM t ORDER BY b DESC")
+        values = [row[1] for row in outcome.result.rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_star_order(self):
+        db = loaded_db()
+        outcome = db.execute("SELECT * FROM t WHERE a > 900 ORDER BY c")
+        values = [row[2] for row in outcome.result.rows]
+        assert values == sorted(values)
+
+    def test_order_column_must_be_projected(self):
+        db = loaded_db()
+        with pytest.raises(SqlError):
+            db.plan("SELECT a FROM t ORDER BY b")
+
+    def test_order_on_aggregate_rejected(self):
+        db = loaded_db()
+        with pytest.raises(SqlError):
+            db.plan("SELECT SUM(a) FROM t ORDER BY a")
+
+    def test_order_on_join_rejected(self):
+        db = loaded_db()
+        db.create_table("u", [("a", 8)], layout="column")
+        db.insert_many("u", [(1,)])
+        with pytest.raises(SqlError):
+            db.plan("SELECT t.a, u.a FROM t, u WHERE t.a = u.a ORDER BY t.a")
+
+    def test_order_on_wide_field_rejected(self):
+        db = make_database("RC-NVM", verify=False)
+        db.create_table("w", [("k", 8), ("wide", 16)], layout="column")
+        db.insert_many("w", [(1, (2, 3))])
+        with pytest.raises(SqlError):
+            db.plan("SELECT wide FROM w ORDER BY wide")
+
+
+class TestLimit:
+    def test_limit_caps_rows(self):
+        db = loaded_db()
+        outcome = db.execute("SELECT a FROM t WHERE b > 100 LIMIT 7")
+        assert len(outcome.result.rows) == 7
+
+    def test_limit_zero(self):
+        db = loaded_db()
+        outcome = db.execute("SELECT a FROM t LIMIT 0", simulate=False)
+        assert outcome.result.rows == []
+
+    def test_limit_larger_than_result(self):
+        db = loaded_db(n=50)
+        outcome = db.execute("SELECT a FROM t LIMIT 500", simulate=False)
+        assert len(outcome.result.rows) == 50
+
+    def test_limit_pushdown_cuts_row_fetch_traffic(self):
+        db = loaded_db("DRAM", n=400)
+        full = db.execute("SELECT a, b FROM t WHERE c > 900")
+        limited = db.execute("SELECT a, b FROM t WHERE c > 900 LIMIT 3")
+        # ROW-fetch path on DRAM: fetching 3 tuples beats fetching ~40.
+        assert limited.trace_length < full.trace_length
+
+    def test_order_then_limit_takes_top(self):
+        db = loaded_db()
+        outcome = db.execute("SELECT a FROM t ORDER BY a DESC LIMIT 3")
+        all_values = sorted(
+            (int(v) for v in db.table("t").field_values("a")), reverse=True
+        )
+        assert [row[0] for row in outcome.result.rows] == all_values[:3]

@@ -1,0 +1,132 @@
+"""Model-based (stateful) property tests.
+
+Two critical stateful components are checked against trivially-correct
+Python models under random operation sequences:
+
+* the set-associative LRU cache against a dict-of-lists model;
+* the MESI directory against a single-writer/multi-reader ownership
+  model.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.coherence import Mesi, MesiDirectory
+from repro.cache.line import line_key
+from repro.core.addressing import Orientation
+
+KEYS = [line_key(i * 64, Orientation.ROW) for i in range(24)]
+
+
+class LruCacheModel(RuleBasedStateMachine):
+    """A 4-set x 2-way cache vs. an explicit per-set LRU list."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = Cache("model", size_bytes=8 * 64, ways=2, hit_latency=1)
+        self.model = {s: [] for s in range(self.cache.num_sets)}
+
+    def _set_of(self, key):
+        return key & (self.cache.num_sets - 1)
+
+    @rule(key=st.sampled_from(KEYS))
+    def lookup(self, key):
+        line = self.cache.lookup(key)
+        model_set = self.model[self._set_of(key)]
+        if key in model_set:
+            assert line is not None
+            model_set.remove(key)
+            model_set.append(key)  # most recently used at the back
+        else:
+            assert line is None
+
+    @rule(key=st.sampled_from(KEYS))
+    def install(self, key):
+        _line, victim = self.cache.install(key)
+        model_set = self.model[self._set_of(key)]
+        if key in model_set:
+            assert victim is None
+            model_set.remove(key)
+            model_set.append(key)
+            return
+        if len(model_set) >= self.cache.ways:
+            expected_victim = model_set.pop(0)  # least recently used
+            assert victim is not None and victim.key == expected_victim
+        else:
+            assert victim is None
+        model_set.append(key)
+
+    @rule(key=st.sampled_from(KEYS))
+    def invalidate(self, key):
+        line = self.cache.invalidate(key)
+        model_set = self.model[self._set_of(key)]
+        if key in model_set:
+            assert line is not None
+            model_set.remove(key)
+        else:
+            assert line is None
+
+    @invariant()
+    def contents_match(self):
+        for set_index, model_set in self.model.items():
+            actual = list(self.cache.sets[set_index])
+            assert actual == model_set
+
+
+class MesiModel(RuleBasedStateMachine):
+    """3 cores over a directory vs. an ownership model.
+
+    Model state per line: either a single writer (one core, dirty rights)
+    or a reader set.  Uses a big LLC and big privates so capacity
+    evictions never interfere (protocol transitions only)."""
+
+    def __init__(self):
+        super().__init__()
+        privates = [Cache(f"L1-{c}", 64 * 64, 8, 1) for c in range(3)]
+        llc = Cache("LLC", 512 * 64, 8, 1)
+        self.directory = MesiDirectory(privates, llc)
+        self.readers = {}  # key -> set of cores
+        self.writer = {}  # key -> core or None
+
+    @rule(core=st.integers(0, 2), key=st.sampled_from(KEYS))
+    def read(self, core, key):
+        self.directory.read(core, key)
+        holders = self.readers.setdefault(key, set())
+        holders.add(core)
+        self.writer[key] = None if len(holders) > 1 or self.writer.get(key) != core else core
+
+    @rule(core=st.integers(0, 2), key=st.sampled_from(KEYS))
+    def write(self, core, key):
+        self.directory.write(core, key)
+        self.readers[key] = {core}
+        self.writer[key] = core
+
+    @invariant()
+    def protocol_invariants_hold(self):
+        for key in KEYS:
+            self.directory.check_invariants(key)
+
+    @invariant()
+    def writers_match_model(self):
+        for key, writer in self.writer.items():
+            if writer is not None:
+                assert self.directory.state_of(writer, key) is Mesi.MODIFIED
+                for other in range(3):
+                    if other != writer:
+                        assert self.directory.state_of(other, key) is None
+
+    @invariant()
+    def readers_match_model(self):
+        for key, holders in self.readers.items():
+            for core in holders:
+                assert self.directory.state_of(core, key) is not None
+
+
+TestLruCacheModel = LruCacheModel.TestCase
+TestLruCacheModel.settings = settings(max_examples=40, stateful_step_count=40,
+                                      deadline=None)
+TestMesiModel = MesiModel.TestCase
+TestMesiModel.settings = settings(max_examples=30, stateful_step_count=30,
+                                  deadline=None)

@@ -1,0 +1,96 @@
+"""Device timing models and unit conversions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim.timing import (
+    BURST_CYCLES,
+    CPU_FREQ_HZ,
+    DDR3_1333_DRAM,
+    DeviceTiming,
+    LPDDR3_800_RCNVM,
+    LPDDR3_800_RRAM,
+)
+
+
+class TestTable1Presets:
+    def test_dram_parameters(self):
+        t = DDR3_1333_DRAM
+        assert (t.t_cas, t.t_rcd, t.t_rp, t.t_ras) == (10, 9, 9, 24)
+        assert t.write_pulse == 0
+
+    def test_rram_parameters(self):
+        t = LPDDR3_800_RRAM
+        assert (t.t_cas, t.t_rcd, t.t_rp, t.t_ras) == (6, 10, 1, 0)
+
+    def test_rcnvm_slower_than_rram(self):
+        # Table 1: RC-NVM pays the Figure 5 latency overhead (tRCD 12 vs
+        # 10, write pulse 15 ns vs 10 ns).
+        assert LPDDR3_800_RCNVM.t_rcd > LPDDR3_800_RRAM.t_rcd
+        assert LPDDR3_800_RCNVM.write_pulse > LPDDR3_800_RRAM.write_pulse
+
+    def test_dram_access_time_is_about_14ns(self):
+        # tRCD + tCAS at 1.5 ns per cycle ~= 28.5? No: Table 1 quotes the
+        # array access (tRCD) at ~14 ns.
+        ns = DDR3_1333_DRAM.t_rcd * DDR3_1333_DRAM.interface_ns
+        assert 12 <= ns <= 15
+
+    def test_rram_read_access_is_about_25ns(self):
+        ns = LPDDR3_800_RRAM.t_rcd * LPDDR3_800_RRAM.interface_ns
+        assert 24 <= ns <= 26
+
+    def test_rcnvm_read_access_is_about_29ns(self):
+        ns = LPDDR3_800_RCNVM.t_rcd * LPDDR3_800_RCNVM.interface_ns
+        assert 28 <= ns <= 31
+
+
+class TestConversions:
+    def test_cpu_cycles_dram(self):
+        # DDR3-1333 runs at 1/3 the 2 GHz core clock.
+        assert DDR3_1333_DRAM.cpu(10) == 30
+
+    def test_cpu_cycles_lpddr(self):
+        assert LPDDR3_800_RRAM.cpu(10) == 50
+
+    def test_burst_cpu(self):
+        assert DDR3_1333_DRAM.burst_cpu == BURST_CYCLES * 3
+        assert LPDDR3_800_RRAM.burst_cpu == BURST_CYCLES * 5
+
+    def test_interface_ns(self):
+        assert DDR3_1333_DRAM.interface_ns == pytest.approx(1.5)
+        assert LPDDR3_800_RRAM.interface_ns == pytest.approx(2.5)
+
+    def test_cpu_freq(self):
+        assert CPU_FREQ_HZ == 2_000_000_000
+
+
+class TestScaled:
+    def test_scaled_matches_base_point(self):
+        scaled = LPDDR3_800_RRAM.scaled(25.0, 10.0)
+        assert scaled.t_rcd == LPDDR3_800_RRAM.t_rcd
+        assert scaled.write_pulse == LPDDR3_800_RRAM.write_pulse
+
+    def test_scaled_doubles(self):
+        scaled = LPDDR3_800_RRAM.scaled(50.0, 20.0)
+        assert scaled.t_rcd == 20
+        assert scaled.write_pulse == 8
+
+    def test_scaled_keeps_other_fields(self):
+        scaled = LPDDR3_800_RRAM.scaled(100.0, 40.0)
+        assert scaled.t_cas == LPDDR3_800_RRAM.t_cas
+        assert scaled.clock_ratio == LPDDR3_800_RRAM.clock_ratio
+
+    def test_scaled_minimum_one_cycle(self):
+        scaled = LPDDR3_800_RRAM.scaled(0.1, 0.0)
+        assert scaled.t_rcd == 1
+        assert scaled.write_pulse == 0
+
+
+class TestValidation:
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceTiming(name="bad", clock_ratio=1.0, t_cas=-1, t_rcd=1, t_rp=1, t_ras=0)
+
+    def test_zero_clock_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceTiming(name="bad", clock_ratio=0, t_cas=1, t_rcd=1, t_rp=1, t_ras=0)

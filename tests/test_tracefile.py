@@ -1,0 +1,121 @@
+"""Trace file round-tripping (the authors' RCNVMTrace artifact shape)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import isa
+from repro.core.addressing import Coordinate, Orientation
+from repro.cpu.trace import Access, Op
+from repro.cpu.tracefile import (
+    TraceFormatError,
+    dump_access,
+    load_trace,
+    parse_line,
+    save_trace,
+)
+
+
+def sample_trace():
+    return [
+        isa.load(0x1000, size=64, gap=2),
+        isa.store(0x2000, size=8),
+        isa.cload(0x3000, size=128, pin=True),
+        isa.cstore(0x4000, size=8, barrier=True),
+        isa.gather_load(0x50000, Coordinate(1, 2, 3, 4, 100, 200)),
+        isa.unpin(0x3000, 128, Orientation.COLUMN),
+        isa.unpin(0x6000, 64, Orientation.ROW),
+    ]
+
+
+def access_tuple(access):
+    coord = access.coord
+    return (
+        access.op,
+        access.address,
+        access.size,
+        access.gap,
+        access.barrier,
+        access.pin,
+        access.orientation,
+        None if coord is None else (coord.channel, coord.rank, coord.bank,
+                                    coord.subarray, coord.row, coord.col),
+    )
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "workload.trace"
+        original = sample_trace()
+        count = save_trace(path, original)
+        assert count == len(original)
+        loaded = list(load_trace(path))
+        assert [access_tuple(a) for a in loaded] == [access_tuple(a) for a in original]
+
+    def test_line_roundtrip_each_op(self):
+        for access in sample_trace():
+            parsed = parse_line(dump_access(access))
+            assert access_tuple(parsed) == access_tuple(access)
+
+    @given(
+        op=st.sampled_from([Op.READ, Op.WRITE, Op.CREAD, Op.CWRITE]),
+        address=st.integers(0, (1 << 40) - 1).map(lambda a: a * 8),
+        size=st.integers(1, 8192),
+        gap=st.integers(0, 1000),
+        barrier=st.booleans(),
+        pin=st.booleans(),
+    )
+    @settings(max_examples=150)
+    def test_property_roundtrip(self, op, address, size, gap, barrier, pin):
+        access = Access(op, address, size, gap, barrier=barrier, pin=pin)
+        assert access_tuple(parse_line(dump_access(access))) == access_tuple(access)
+
+    def test_replayed_trace_times_identically(self, tmp_path):
+        from repro.cache import SynonymDirectory, make_hierarchy
+        from repro.cpu import Machine
+        from repro.memsim import make_small_rcnvm
+
+        memory = make_small_rcnvm()
+        mapper = memory.mapper
+        trace = [
+            isa.cload(mapper.encode_col(Coordinate(0, 0, 0, 0, r, 3)), size=64)
+            for r in range(0, 128, 8)
+        ]
+        path = tmp_path / "scan.trace"
+        save_trace(path, trace)
+
+        def run(accesses):
+            mem = make_small_rcnvm()
+            hierarchy = make_hierarchy(
+                synonym=SynonymDirectory(mem.mapper), l1_kib=4, l2_kib=16, l3_kib=64
+            )
+            return Machine(mem, hierarchy).run(accesses).cycles
+
+        assert run(trace) == run(list(load_trace(path)))
+
+
+class TestErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("R 0x0 64 1\n")
+        with pytest.raises(TraceFormatError):
+            list(load_trace(path))
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "R 0x10",  # too few fields
+            "X 0x10 64 1",  # unknown op
+            "R zz 64 1",  # bad address
+            "G 0x10 64 1",  # gather without coordinate
+            "R 0x10 64 1 @1,2,3",  # short coordinate
+            "R 0x10 64 1 QQ",  # unknown flags
+        ],
+    )
+    def test_bad_lines(self, line):
+        with pytest.raises(TraceFormatError):
+            parse_line(line)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "commented.trace"
+        path.write_text("# rcnvm-trace v1\n\n# comment\nR 0x40 64 1\n")
+        assert len(list(load_trace(path))) == 1

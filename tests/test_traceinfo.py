@@ -1,0 +1,81 @@
+"""Trace profiling."""
+
+import pytest
+
+from conftest import make_database, simple_rows
+from repro.core import isa
+from repro.core.addressing import Orientation
+from repro.cpu.traceinfo import profile_file, profile_trace
+from repro.cpu.tracefile import save_trace
+
+
+def small_trace():
+    return [
+        isa.load(0x0, size=64),
+        isa.load(0x40, size=64),
+        isa.load(0x80, size=64),
+        isa.store(0x40, size=8),
+        isa.cload(0x1000, size=128, pin=True),
+        isa.unpin(0x1000, 128, Orientation.COLUMN),
+    ]
+
+
+class TestProfile:
+    def test_counts(self):
+        profile = profile_trace(small_trace())
+        assert profile.accesses == 5  # unpin excluded
+        assert profile.reads == 4 and profile.writes == 1
+        assert profile.unpins == 1
+        assert profile.pinned == 1
+
+    def test_bytes_and_footprint(self):
+        profile = profile_trace(small_trace())
+        assert profile.bytes_touched == 64 * 3 + 8 + 128
+        # Row space: lines 0,1,2 (the store re-touches line 1).
+        assert profile.footprint_lines["ROW"] == 3
+        assert profile.footprint_lines["COLUMN"] == 2
+
+    def test_stride_histogram(self):
+        profile = profile_trace([isa.load(i * 64, size=64) for i in range(10)])
+        (stride, count), *_ = profile.top_strides["ROW"]
+        assert stride == 64 and count == 9
+
+    def test_op_mix(self):
+        profile = profile_trace(small_trace())
+        assert profile.op_counts == {"READ": 3, "WRITE": 1, "CREAD": 1}
+
+    def test_write_fraction(self):
+        profile = profile_trace(small_trace())
+        assert profile.write_fraction == pytest.approx(0.2)
+
+    def test_render_mentions_everything(self):
+        text = profile_trace(small_trace()).render()
+        assert "accesses: 5" in text
+        assert "ROW" in text and "COLUMN" in text
+
+    def test_empty_trace(self):
+        profile = profile_trace([])
+        assert profile.accesses == 0
+        assert profile.write_fraction == 0.0
+        assert profile.render()
+
+
+class TestFileAndQueryIntegration:
+    def test_profile_saved_query_trace(self, tmp_path):
+        db = make_database("RC-NVM", verify=False)
+        db.create_table("t", [("a", 8), ("b", 8)], layout="column")
+        db.insert_many("t", simple_rows(256, 2))
+        path = tmp_path / "q.trace"
+        count = db.trace_to_file(path, "SELECT SUM(b) FROM t WHERE a > 500")
+        profile = profile_file(path)
+        assert profile.accesses == count
+        assert profile.bytes_by_orientation.get("COLUMN", 0) > 0
+
+    def test_profile_matches_inline(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.trace"
+        save_trace(path, trace)
+        inline = profile_trace(small_trace())
+        from_file = profile_file(path)
+        assert inline.op_counts == from_file.op_counts
+        assert inline.bytes_touched == from_file.bytes_touched

@@ -1,0 +1,84 @@
+"""Huge-page layout control (paper Section 4.2.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.vmem import HUGE_PAGE_BYTES, Arena, HugePage
+from repro.errors import AddressError, ConfigurationError
+from repro.geometry import Geometry, RCNVM_GEOMETRY
+
+
+class TestHugePage:
+    def test_alignment_enforced(self):
+        with pytest.raises(AddressError):
+            HugePage(virtual_base=4096, physical_base=0)
+        with pytest.raises(AddressError):
+            HugePage(virtual_base=0, physical_base=4096)
+
+    def test_contains(self):
+        page = HugePage(HUGE_PAGE_BYTES, 0)
+        assert page.contains(HUGE_PAGE_BYTES)
+        assert page.contains(2 * HUGE_PAGE_BYTES - 1)
+        assert not page.contains(2 * HUGE_PAGE_BYTES)
+
+
+class TestLayoutControlInvariant:
+    def test_table1_geometry_fits(self):
+        # Figure 7: subarray(3) + row(10) + col(10) + offset(3) = 26 bits,
+        # comfortably inside the 30 low bits a huge page preserves.
+        arena = Arena(RCNVM_GEOMETRY)
+        assert arena.check_layout_control() == 26
+
+    def test_oversized_subarray_rejected(self):
+        huge = Geometry(channels=1, ranks=1, banks=1, subarrays=1,
+                        rows=1 << 16, cols=1 << 14)  # 16+14+3 = 33 bits
+        arena = Arena(huge)
+        with pytest.raises(ConfigurationError):
+            arena.check_layout_control()
+
+
+class TestTranslation:
+    def test_map_and_translate(self):
+        arena = Arena(RCNVM_GEOMETRY)
+        page = arena.map_page()
+        virtual = page.virtual_base + 12345
+        assert arena.translate(virtual) == page.physical_base + 12345
+
+    def test_low_bits_preserved(self):
+        arena = Arena(RCNVM_GEOMETRY)
+        arena.map_page()
+        arena.map_page()
+        for offset in (0, 1, 0x123456, HUGE_PAGE_BYTES - 8):
+            virtual = arena.virtual_start + HUGE_PAGE_BYTES + offset
+            assert arena.low_bits_preserved(virtual)
+
+    def test_translate_back(self):
+        arena = Arena(RCNVM_GEOMETRY)
+        page = arena.map_page()
+        physical = page.physical_base + 777
+        assert arena.translate(arena.translate_back(physical)) == physical
+
+    def test_unmapped_raises(self):
+        arena = Arena(RCNVM_GEOMETRY)
+        with pytest.raises(AddressError):
+            arena.translate(arena.virtual_start)
+
+    def test_frames_exhaust(self):
+        arena = Arena(RCNVM_GEOMETRY)  # 4 GB = 4 frames
+        for _ in range(4):
+            arena.map_page()
+        with pytest.raises(AddressError):
+            arena.map_page()
+
+    def test_misaligned_start_rejected(self):
+        with pytest.raises(AddressError):
+            Arena(RCNVM_GEOMETRY, virtual_start=123)
+
+    @given(offset=st.integers(0, HUGE_PAGE_BYTES - 1))
+    @settings(max_examples=100)
+    def test_identity_of_low_bits_property(self, offset):
+        arena = Arena(RCNVM_GEOMETRY)
+        arena.map_page()
+        virtual = arena.virtual_start + offset
+        physical = arena.translate(virtual)
+        assert virtual & (HUGE_PAGE_BYTES - 1) == physical & (HUGE_PAGE_BYTES - 1)

@@ -1,0 +1,136 @@
+"""Workloads: data generators, Table 2 specs, micro-benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.imdb.chunks import IntraLayout
+from repro.memsim.system import make_small_dram, make_small_rcnvm
+from repro.workloads import datagen, microbench, queries, suite, tables
+
+
+class TestTables:
+    def test_table_a_shape(self):
+        fields = tables.table_a_fields()
+        assert len(fields) == 16
+        assert all(nbytes == 8 for _n, nbytes in fields)
+
+    def test_table_b_shape(self):
+        assert len(tables.table_b_fields()) == 20
+
+    def test_table_c_has_wide_field(self):
+        fields = dict(tables.table_c_fields())
+        assert len(fields) == 5
+        assert fields["f2_wide"] == 32
+        assert len(set(nbytes for nbytes in fields.values())) > 1  # variant widths
+
+    def test_table_a_tuple_is_power_of_two(self):
+        words = sum(nbytes // 8 for _n, nbytes in tables.table_a_fields())
+        assert words & (words - 1) == 0
+
+    def test_table_b_tuple_is_not_power_of_two(self):
+        words = sum(nbytes // 8 for _n, nbytes in tables.table_b_fields())
+        assert words & (words - 1) != 0
+
+
+class TestDatagen:
+    def test_deterministic(self):
+        a = datagen.generate_packed(tables.TABLE_A, 100, 16)
+        b = datagen.generate_packed(tables.TABLE_A, 100, 16)
+        assert (a == b).all()
+
+    def test_different_tables_differ(self):
+        a = datagen.generate_packed(tables.TABLE_A, 100, 16)
+        b = datagen.generate_packed(tables.TABLE_B, 100, 16)
+        assert not (a == b).all()
+
+    def test_f9_is_permutation(self):
+        data = datagen.generate_packed(tables.TABLE_A, 256, 16)
+        assert sorted(data[:, 8]) == list(range(256))
+
+    def test_f10_in_range(self):
+        data = datagen.generate_packed(tables.TABLE_B, 500, 20)
+        assert data[:, 9].min() >= 0 and data[:, 9].max() < datagen.F10_RANGE
+
+    def test_selectivity_of(self):
+        assert datagen.selectivity_of(899) == pytest.approx(0.1)
+        assert datagen.selectivity_of(-1) == 1.0
+        assert datagen.selectivity_of(10_000) == 0.0
+
+
+class TestQuerySpecs:
+    def test_all_15_queries_defined(self):
+        assert len(queries.QUERIES) == 15
+        assert queries.SQL_BENCHMARK_IDS == tuple(f"Q{i}" for i in range(1, 14))
+        assert queries.GROUP_CACHING_IDS == ("Q14", "Q15")
+
+    def test_q2_is_selective_q3_is_not(self):
+        q2 = queries.query("Q2")
+        q3 = queries.query("Q3")
+        assert datagen.selectivity_of(q2.params["x"]) < 0.5
+        assert datagen.selectivity_of(q3.params["x"]) > 0.5
+
+    def test_categories(self):
+        assert queries.query("Q4").category == "OLAP"
+        assert queries.query("Q12").category == "OLTP"
+        assert queries.query("Q14").category == "group-caching"
+
+    def test_join_queries_reference_both_tables(self):
+        for qid in ("Q8", "Q9"):
+            spec = queries.query(qid)
+            assert set(spec.tables) == {tables.TABLE_A, tables.TABLE_B}
+
+
+class TestSuite:
+    def test_default_layout_by_system(self):
+        assert suite.default_layout(make_small_rcnvm()) is IntraLayout.COLUMN
+        assert suite.default_layout(make_small_dram()) is IntraLayout.ROW
+
+    def test_build_benchmark_database(self):
+        db = suite.build_benchmark_database(
+            make_small_rcnvm(), scale=0.02,
+            cache_config=dict(l1_kib=4, l2_kib=16, l3_kib=64),
+        )
+        for name in (tables.TABLE_A, tables.TABLE_B, tables.TABLE_C):
+            assert db.table(name).n_tuples >= 64
+
+    def test_scale_changes_size(self):
+        small = suite.build_benchmark_database(
+            make_small_rcnvm(), scale=0.02, tables=[tables.TABLE_A],
+            cache_config=dict(l1_kib=4, l2_kib=16, l3_kib=64),
+        )
+        bigger = suite.build_benchmark_database(
+            make_small_rcnvm(), scale=0.04, tables=[tables.TABLE_A],
+            cache_config=dict(l1_kib=4, l2_kib=16, l3_kib=64),
+        )
+        assert bigger.table(tables.TABLE_A).n_tuples > small.table(tables.TABLE_A).n_tuples
+
+
+class TestMicrobench:
+    def test_kernel_parse(self):
+        kernel = microbench.Kernel.parse("col-write-L2")
+        assert kernel.direction == "col"
+        assert kernel.write
+        assert kernel.layout is IntraLayout.COLUMN
+
+    def test_kernel_names_all_parse(self):
+        for name in microbench.KERNELS:
+            microbench.Kernel.parse(name)
+
+    def test_emit_kernel_row_read(self):
+        memory = make_small_rcnvm()
+        db, table = microbench.build_micro_database(
+            memory, IntraLayout.ROW, n_tuples=64, n_fields=4,
+            cache_config=dict(l1_kib=4, l2_kib=16, l3_kib=64),
+        )
+        trace = microbench.emit_kernel(db, table, microbench.Kernel.parse("row-read-L1"))
+        assert len(trace) == 64
+        assert not any(a.is_write for a in trace)
+
+    def test_emit_kernel_col_write_has_writes(self):
+        memory = make_small_rcnvm()
+        db, table = microbench.build_micro_database(
+            memory, IntraLayout.COLUMN, n_tuples=64, n_fields=4,
+            cache_config=dict(l1_kib=4, l2_kib=16, l3_kib=64),
+        )
+        trace = microbench.emit_kernel(db, table, microbench.Kernel.parse("col-write-L2"))
+        assert all(a.is_write for a in trace)
