@@ -1,0 +1,101 @@
+"""Ablation: open vs closed vs adaptive page management.
+
+Two synthetic closed-loop traces bracket the policy space:
+
+* **buffer-friendly** — a stream over one open row.  Open-page turns all
+  but the first access into buffer hits; closed-page re-activates every
+  time; adaptive sees hits, keeps the buffer open, and matches open-page.
+* **conflict-heavy** — every access to a bank wants a different row, with
+  enough arrival spacing that a background precharge hides in idle time.
+  Closed-page wins (the precharge is off the critical path); open-page
+  pays it on every access; adaptive converges to closed-page after its
+  conflict streak crosses the threshold.
+
+So the expected average-latency ordering is ``adaptive <= open <= closed``
+on the friendly trace and ``closed <= adaptive <= open`` on the
+conflict-heavy one — adaptive is never the worst policy on either side.
+"""
+
+from conftest import show  # noqa: F401  (keeps parity with sibling ablations)
+from repro.core.addressing import Orientation
+from repro.geometry import SMALL_RCNVM_GEOMETRY
+from repro.harness.figures import FigureResult
+from repro.memsim.controller import ChannelController
+from repro.memsim.request import MemRequest
+from repro.memsim.timing import LPDDR3_800_RCNVM
+
+PAGE_POLICIES = ChannelController.PAGE_POLICIES
+
+#: Arrival spacing, in CPU cycles: longer than one full conflict access
+#: (tRP + tRCD + tCAS + burst = 115 for RC-NVM) so background precharges
+#: can hide between requests.
+GAP = 200
+TRACE_LENGTH = 256
+
+
+def _request(row, col, orientation=Orientation.ROW, arrival=0):
+    return MemRequest(channel=0, rank=0, bank=0, subarray=0, row=row,
+                      col=col, orientation=orientation, is_write=False,
+                      arrival=arrival)
+
+
+def friendly_trace():
+    """Streaming reads over one open row."""
+    return [
+        _request(row=3, col=i % 32, arrival=i * GAP)
+        for i in range(TRACE_LENGTH)
+    ]
+
+
+def conflict_trace():
+    """Every access wants a different row of the same bank."""
+    return [
+        _request(row=i % 7, col=0, arrival=i * GAP)
+        for i in range(TRACE_LENGTH)
+    ]
+
+
+def run_policy(page_policy, trace):
+    """Closed-loop run (each completion resolved before the next submit),
+    mirroring how the CPU model issues demand misses."""
+    controller = ChannelController(
+        SMALL_RCNVM_GEOMETRY, LPDDR3_800_RCNVM, supports_column=True,
+        page_policy=page_policy, adaptive_threshold=4,
+    )
+    for req in trace:
+        controller.submit(req)
+        controller.completion_of(req)
+    return controller.stats.average_latency
+
+
+def test_ablation_page_policy(benchmark):
+    def sweep():
+        return {
+            trace_name: {
+                policy: run_policy(policy, build())
+                for policy in PAGE_POLICIES
+            }
+            for trace_name, build in (
+                ("friendly", friendly_trace),
+                ("conflict", conflict_trace),
+            )
+        }
+
+    latency = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(FigureResult(
+        name="Page-policy ablation",
+        title="Average read latency (CPU cycles) by page policy",
+        headers=("trace",) + PAGE_POLICIES,
+        rows=[
+            (name,) + tuple(round(per[p], 2) for p in PAGE_POLICIES)
+            for name, per in latency.items()
+        ],
+    ))
+    friendly, conflict = latency["friendly"], latency["conflict"]
+    # Buffer-friendly: keeping the buffer open wins; adaptive matches it.
+    assert friendly["adaptive"] <= friendly["open"] <= friendly["closed"]
+    assert friendly["open"] < friendly["closed"]
+    # Conflict-heavy: the ordering reverses; adaptive tracks closed-page
+    # (it pays only the pre-threshold conflicts) and beats open-page.
+    assert conflict["closed"] <= conflict["adaptive"] <= conflict["open"]
+    assert conflict["adaptive"] < conflict["open"]

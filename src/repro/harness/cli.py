@@ -34,7 +34,7 @@ def _multicore_result(args):
     from repro.harness.multicore import compare_systems
 
     results = compare_systems(("RC-NVM", "DRAM"), scale=args.scale,
-                              small=args.small)
+                              small=args.small, sched_kwargs=args.sched_kwargs)
     rows = [
         (name, r.makespan) + r.per_core_cycles
         for name, r in results.items()
@@ -92,7 +92,41 @@ def main(argv=None):
                         help="use the small test geometry and caches")
     parser.add_argument("--verify", action="store_true",
                         help="cross-check every query result against the reference engine")
+    sched = parser.add_argument_group(
+        "memory scheduler", "controller knobs for the simulation experiments "
+        "(fig17-23, multicore, energy)"
+    )
+    sched.add_argument("--policy", choices=("frfcfs", "fcfs"), default=None,
+                       help="scheduling policy (default frfcfs)")
+    sched.add_argument("--page-policy", choices=("open", "closed", "adaptive"),
+                       default=None, help="page-management policy (default open)")
+    sched.add_argument("--queue-depth", type=int, default=None,
+                       help="per-channel read-queue depth (default 32)")
+    sched.add_argument("--write-queue-depth", type=int, default=None,
+                       help="per-channel write-queue depth (default: read depth)")
+    sched.add_argument("--age-cap", type=int, default=None,
+                       help="FR-FCFS starvation age cap (default 16)")
+    sched.add_argument("--drain-high", type=float, default=None,
+                       help="write-drain high watermark fraction (default 0.75)")
+    sched.add_argument("--drain-low", type=float, default=None,
+                       help="write-drain low watermark fraction (default 0.25)")
+    sched.add_argument("--adaptive-threshold", type=int, default=None,
+                       help="adaptive page policy conflict streak threshold (default 4)")
     args = parser.parse_args(argv)
+    args.sched_kwargs = {
+        key: value
+        for key, value in (
+            ("policy", args.policy),
+            ("page_policy", args.page_policy),
+            ("queue_depth", args.queue_depth),
+            ("write_queue_depth", args.write_queue_depth),
+            ("age_cap", args.age_cap),
+            ("drain_high", args.drain_high),
+            ("drain_low", args.drain_low),
+            ("adaptive_threshold", args.adaptive_threshold),
+        )
+        if value is not None
+    }
 
     if args.list or not args.experiments:
         print("available experiments:", ", ".join(EXPERIMENTS), "or 'all'")
@@ -126,6 +160,7 @@ def main(argv=None):
                     small=args.small,
                     cache_config=cache_config,
                     verify=args.verify,
+                    sched_kwargs=args.sched_kwargs,
                 )
                 _SQL_MEASUREMENTS[0] = _sql_meas
             result = sql_results[
@@ -134,11 +169,13 @@ def main(argv=None):
             ]
         elif name == "fig22":
             result = figures.figure22(
-                scale=args.scale, small=args.small, cache_config=cache_config
+                scale=args.scale, small=args.small, cache_config=cache_config,
+                sched_kwargs=args.sched_kwargs,
             )
         elif name == "fig23":
             result = figures.figure23(
-                scale=args.scale, small=args.small, cache_config=cache_config
+                scale=args.scale, small=args.small, cache_config=cache_config,
+                sched_kwargs=args.sched_kwargs,
             )
         elif name == "multicore":
             result = _multicore_result(args)
@@ -149,6 +186,7 @@ def main(argv=None):
                     small=args.small,
                     cache_config=cache_config,
                     verify=args.verify,
+                    sched_kwargs=args.sched_kwargs,
                 )
                 sql_measurements = _sql_meas
             else:

@@ -74,17 +74,19 @@ def run_sql_suite(
     cache_config=None,
     verify=False,
     group_lines=0,
+    sched_kwargs=None,
 ):
     """Run the Table 2 query set on each system (Figures 18-21's data).
 
     Returns ``{qid: {system: QueryMeasurement}}``.  Each system gets its
     own freshly loaded database (identical data), and each query starts
-    from cold caches and idle banks.
+    from cold caches and idle banks.  ``sched_kwargs`` configures the
+    memory controllers (scheduling/page policy, queue depths, age cap).
     """
     cache_config = cache_config if cache_config is not None else TABLE1_CACHE_CONFIG
     results = {qid: {} for qid in qids}
     for system_name in systems:
-        memory = build_system(system_name, small=small)
+        memory = build_system(system_name, small=small, **(sched_kwargs or {}))
         db = build_benchmark_database(
             memory,
             scale=scale,
@@ -104,13 +106,14 @@ def run_group_caching_sweep(
     small=False,
     cache_config=None,
     system="RC-NVM",
+    sched_kwargs=None,
 ):
     """Figure 23: execution time of Q14/Q15 under group-caching sizes.
 
     Size 0 is the paper's "w/o pref." bar (naive interleaved column
     accesses)."""
     cache_config = cache_config if cache_config is not None else TABLE1_CACHE_CONFIG
-    memory = build_system(system, small=small)
+    memory = build_system(system, small=small, **(sched_kwargs or {}))
     db = build_benchmark_database(memory, scale=scale, cache_config=cache_config)
     results = {qid: {} for qid in qids}
     for qid in qids:
@@ -133,6 +136,7 @@ def run_sensitivity(
     scale=1.0,
     small=False,
     cache_config=None,
+    sched_kwargs=None,
 ):
     """Figure 22: average execution time vs NVM cell read/write latency.
 
@@ -142,6 +146,7 @@ def run_sensitivity(
     from repro.geometry import SMALL_RCNVM_GEOMETRY
 
     cache_config = cache_config if cache_config is not None else TABLE1_CACHE_CONFIG
+    sched_kwargs = sched_kwargs or {}
 
     def average(memory):
         db = build_benchmark_database(memory, scale=scale, cache_config=cache_config)
@@ -150,7 +155,7 @@ def run_sensitivity(
             total += measure_query(db, QUERIES[qid]).cycles
         return total / len(qids)
 
-    dram = build_system("DRAM", small=small)
+    dram = build_system("DRAM", small=small, **sched_kwargs)
     dram_avg = average(dram)
     rows = []
     nvm_geometry = SMALL_RCNVM_GEOMETRY if small else None
@@ -159,7 +164,7 @@ def run_sensitivity(
         rcnvm_timing = timings.LPDDR3_800_RCNVM.scaled(
             read_ns * RC_READ_FACTOR, write_ns * RC_WRITE_FACTOR
         )
-        rram_avg = average(make_rram(nvm_geometry, timing=rram_timing))
-        rcnvm_avg = average(make_rcnvm(nvm_geometry, timing=rcnvm_timing))
+        rram_avg = average(make_rram(nvm_geometry, timing=rram_timing, **sched_kwargs))
+        rcnvm_avg = average(make_rcnvm(nvm_geometry, timing=rcnvm_timing, **sched_kwargs))
         rows.append((read_ns, write_ns, rcnvm_avg, rram_avg, dram_avg))
     return rows

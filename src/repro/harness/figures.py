@@ -190,6 +190,7 @@ def run_figures_18_21(
     qids=SQL_BENCHMARK_IDS,
     systems=FIGURE_SYSTEMS,
     verify=False,
+    sched_kwargs=None,
 ):
     """Run the SQL suite once and derive Figures 18-21 from it."""
     measurements = run_sql_suite(
@@ -199,6 +200,7 @@ def run_figures_18_21(
         small=small,
         cache_config=cache_config,
         verify=verify,
+        sched_kwargs=sched_kwargs,
     )
     return {
         "Figure 18": figure18(measurements, systems),
@@ -210,11 +212,13 @@ def run_figures_18_21(
 
 # -- sensitivity and group caching ----------------------------------------------------
 
-def figure22(scale=1.0, small=False, cache_config=None, qids=("Q1", "Q2", "Q4", "Q6")):
+def figure22(scale=1.0, small=False, cache_config=None, qids=("Q1", "Q2", "Q4", "Q6"),
+             sched_kwargs=None):
     rows = [
         (read, write, round(rcnvm, 1), round(rram, 1), round(dram, 1))
         for read, write, rcnvm, rram, dram in run_sensitivity(
-            qids=qids, scale=scale, small=small, cache_config=cache_config
+            qids=qids, scale=scale, small=small, cache_config=cache_config,
+            sched_kwargs=sched_kwargs,
         )
     ]
     return FigureResult(
@@ -226,9 +230,10 @@ def figure22(scale=1.0, small=False, cache_config=None, qids=("Q1", "Q2", "Q4", 
 
 
 def figure23(scale=1.0, small=False, cache_config=None,
-             group_sizes=(0, 32, 64, 96, 128)):
+             group_sizes=(0, 32, 64, 96, 128), sched_kwargs=None):
     results = run_group_caching_sweep(
-        group_sizes=group_sizes, scale=scale, small=small, cache_config=cache_config
+        group_sizes=group_sizes, scale=scale, small=small, cache_config=cache_config,
+        sched_kwargs=sched_kwargs,
     )
     rows = []
     for qid, per_size in results.items():

@@ -68,9 +68,10 @@ def run_multicore_olxp(
     small=False,
     l1_kib=32,
     llc_kib=2048,
+    sched_kwargs=None,
 ) -> MulticoreMeasurement:
     """Run the OLXP core mix on one system; returns the measurement."""
-    memory = build_system(system_name, small=small)
+    memory = build_system(system_name, small=small, **(sched_kwargs or {}))
     db = build_benchmark_database(memory, scale=scale)
     traces = build_core_traces(db, core_mix)
     memory.reset()

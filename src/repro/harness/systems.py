@@ -20,29 +20,35 @@ TABLE1_CACHE_CONFIG = dict(l1_kib=32, l2_kib=256, l3_kib=8192, ways=8)
 SMALL_CACHE_CONFIG = dict(l1_kib=4, l2_kib=16, l3_kib=128, ways=8)
 
 _FULL_FACTORIES = {
-    "DRAM": lambda: make_dram(DRAM_GEOMETRY),
-    "GS-DRAM": lambda: make_gsdram(DRAM_GEOMETRY),
-    "RRAM": lambda: make_rram(RCNVM_GEOMETRY),
-    "RC-NVM": lambda: make_rcnvm(RCNVM_GEOMETRY),
+    "DRAM": lambda **kw: make_dram(DRAM_GEOMETRY, **kw),
+    "GS-DRAM": lambda **kw: make_gsdram(DRAM_GEOMETRY, **kw),
+    "RRAM": lambda **kw: make_rram(RCNVM_GEOMETRY, **kw),
+    "RC-NVM": lambda **kw: make_rcnvm(RCNVM_GEOMETRY, **kw),
 }
 
 _SMALL_FACTORIES = {
-    "DRAM": lambda: make_dram(SMALL_DRAM_GEOMETRY),
-    "GS-DRAM": lambda: make_gsdram(SMALL_DRAM_GEOMETRY),
-    "RRAM": lambda: make_rram(SMALL_RCNVM_GEOMETRY),
-    "RC-NVM": lambda: make_rcnvm(SMALL_RCNVM_GEOMETRY),
+    "DRAM": lambda **kw: make_dram(SMALL_DRAM_GEOMETRY, **kw),
+    "GS-DRAM": lambda **kw: make_gsdram(SMALL_DRAM_GEOMETRY, **kw),
+    "RRAM": lambda **kw: make_rram(SMALL_RCNVM_GEOMETRY, **kw),
+    "RC-NVM": lambda **kw: make_rcnvm(SMALL_RCNVM_GEOMETRY, **kw),
 }
 
 
-def build_system(name, small=False):
-    """Build one of the paper's four memory systems by name."""
+def build_system(name, small=False, **sched_kwargs):
+    """Build one of the paper's four memory systems by name.
+
+    ``sched_kwargs`` (``policy``, ``page_policy``, ``queue_depth``,
+    ``age_cap``, ...) configure every channel controller; see
+    :class:`repro.memsim.controller.ChannelController`.
+    """
     factories = _SMALL_FACTORIES if small else _FULL_FACTORIES
     try:
-        return factories[name]()
+        factory = factories[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown system {name!r}; choose from {SYSTEM_NAMES}"
         ) from None
+    return factory(**sched_kwargs)
 
 
 def table1_rows():

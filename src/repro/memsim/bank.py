@@ -55,6 +55,19 @@ class Bank:
                 self.open_index,
             )
 
+    def reset(self):
+        """Return to power-on state: buffers closed, timing and counters
+        zeroed.  Endurance hooks (``wear_tracker``/``wear_identity``) are
+        deliberately kept — they identify the bank, not its state."""
+        self.open_kind = None
+        self.open_subarray = None
+        self.open_index = None
+        self.dirty = False
+        self.ready_at = 0
+        self.activated_at = 0
+        self.accesses = 0
+        self.activations = 0
+
     # -- queries -----------------------------------------------------------
     def is_open(self, kind, subarray, index):
         return (

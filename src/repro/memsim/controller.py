@@ -1,56 +1,147 @@
-"""Per-channel memory controller with FR-FCFS scheduling.
+"""Locality-aware per-channel memory controller.
 
-The controller keeps a bounded request queue (Table 1: 32 entries) and
-services it with the classic first-ready, first-come-first-served policy
-[Rixner et al., ISCA 2000]: among queued requests it first picks one whose
-bank already has the matching buffer entry open (a "ready" request), and
-falls back to the oldest request otherwise.
+The controller keeps one read queue and one write queue *per bank* so that
+bank-level parallelism is visible to the scheduler, and services them with
+a configurable policy stack:
 
-Scheduling is lazy: requests accumulate until a client asks for a specific
-request's completion time (or the queue overflows), at which point the
-controller schedules queued requests in FR-FCFS order, advancing per-bank
+* **Scheduling policy** — ``frfcfs`` (first-ready, first-come-first-served
+  [Rixner et al., ISCA 2000]: open-buffer hits first, oldest otherwise) or
+  ``fcfs`` (strict submission order; ablation baseline).
+* **Starvation age cap** — under FR-FCFS a queued request may be bypassed
+  by younger buffer-hit requests at most ``age_cap`` times; after that it
+  is scheduled unconditionally, bounding worst-case queueing delay.
+* **Write draining** — writes are posted into the per-bank write queues
+  and serviced in batches: when write occupancy reaches the high
+  watermark the controller drains writes until the low watermark, and
+  otherwise serves them only when no reads are waiting.  This keeps
+  NVM's slow writes off the read critical path (Yoon et al., ICCD 2012).
+* **Page policy** — ``open`` keeps the row/column buffer open after an
+  access (best for streams), ``closed`` precharges immediately (best for
+  random conflict traffic, since the precharge hides in idle time), and
+  ``adaptive`` starts open and switches a bank to closed-page behaviour
+  after its conflict streak crosses a threshold.  Orientation switches
+  (row<->column, RC-NVM's costliest conflict) count double toward the
+  streak, and a close that turns out to have been wasted — the very next
+  access to the bank wanted the entry we closed — snaps the bank back to
+  open-page mode (Meza et al., IEEE CAL 2012 call this buffer-locality
+  awareness).
+
+Scheduling stays lazy: requests accumulate until a client asks for a
+specific request's completion time (or a queue overflows), at which point
+the controller schedules queued requests one at a time, advancing per-bank
 state and the shared data bus.
 """
+
+import itertools
 
 from repro.orientation import Orientation
 from repro.memsim.bank import Bank
 from repro.memsim.stats import MemoryStats
 
 
+class _Queued:
+    """One queue entry: the request, its submission order, and how many
+    times the scheduler has picked a younger request over it."""
+
+    __slots__ = ("seq", "req", "bypassed")
+
+    def __init__(self, seq, req):
+        self.seq = seq
+        self.req = req
+        self.bypassed = 0
+
+
 class ChannelController:
     """Owns the banks of one channel plus that channel's data bus."""
 
     #: Scheduling policies: FR-FCFS (the paper's choice) or plain FCFS
-    #: (ablation baseline; no buffer-hit reordering).
+    #: (ablation baseline; no buffer-hit reordering, no write buffering).
     POLICIES = ("frfcfs", "fcfs")
+    #: Page-management policies for the open row/column buffer.
+    PAGE_POLICIES = ("open", "closed", "adaptive")
 
     def __init__(self, geometry, timing, supports_column, queue_depth=32,
-                 policy="frfcfs"):
+                 policy="frfcfs", page_policy="open", write_queue_depth=None,
+                 age_cap=16, drain_high=0.75, drain_low=0.25,
+                 adaptive_threshold=4):
         if policy not in self.POLICIES:
             raise ValueError(f"unknown scheduling policy {policy!r}")
+        if page_policy not in self.PAGE_POLICIES:
+            raise ValueError(f"unknown page policy {page_policy!r}")
+        if not 0 <= drain_low <= drain_high <= 1:
+            raise ValueError("need 0 <= drain_low <= drain_high <= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        if write_queue_depth is not None and write_queue_depth < 1:
+            raise ValueError("write_queue_depth must be at least 1")
+        if age_cap < 1:
+            raise ValueError("age_cap must be at least 1")
+        if adaptive_threshold < 1:
+            raise ValueError("adaptive_threshold must be at least 1")
         self.geometry = geometry
         self.timing = timing
         self.supports_column = supports_column
         self.queue_depth = queue_depth
+        self.write_queue_depth = (
+            queue_depth if write_queue_depth is None else write_queue_depth
+        )
         self.policy = policy
-        self.banks = [
-            Bank(timing, supports_column) for _ in range(geometry.ranks * geometry.banks)
-        ]
-        self.pending = []
+        self.page_policy = page_policy
+        self.age_cap = age_cap
+        self.adaptive_threshold = adaptive_threshold
+        #: Write-drain watermarks, in queued writes.
+        self.drain_high_count = max(1, int(self.write_queue_depth * drain_high))
+        self.drain_low_count = int(self.write_queue_depth * drain_low)
+        n_banks = geometry.ranks * geometry.banks
+        self.banks = [Bank(timing, supports_column) for _ in range(n_banks)]
+        self.read_queues = [[] for _ in range(n_banks)]
+        self.write_queues = [[] for _ in range(n_banks)]
+        self.reads_pending = 0
+        self.writes_pending = 0
+        self.draining = False
+        #: Adaptive page policy state, per bank.
+        self._conflict_streak = [0] * n_banks
+        self._last_closed = [None] * n_banks
+        self._seq = itertools.count()
         self.bus_free = 0
         self.stats = MemoryStats()
 
     # -- client interface --------------------------------------------------
+    @property
+    def pending(self):
+        """All queued requests in submission order (diagnostics/tests)."""
+        entries = [e for q in self.read_queues for e in q]
+        entries += [e for q in self.write_queues for e in q]
+        entries.sort(key=lambda e: e.seq)
+        return [e.req for e in entries]
+
     def submit(self, req):
-        """Queue a request; may trigger scheduling if the queue is full."""
-        self.pending.append(req)
-        while len(self.pending) > self.queue_depth:
+        """Queue a request; may trigger scheduling if a queue fills up."""
+        entry = _Queued(next(self._seq), req)
+        queues = self.write_queues if req.is_write else self.read_queues
+        bank_queue = queues[self._bank_index(req)]
+        bank_queue.append(entry)
+        if req.is_write:
+            self.writes_pending += 1
+        else:
+            self.reads_pending += 1
+        # -- occupancy telemetry
+        stats = self.stats
+        total = self.reads_pending + self.writes_pending
+        stats.queue_occupancy_sum += total
+        stats.queue_occupancy_samples += 1
+        if total > stats.max_queue_occupancy:
+            stats.max_queue_occupancy = total
+        if len(bank_queue) > stats.max_bank_queue_occupancy:
+            stats.max_bank_queue_occupancy = len(bank_queue)
+        while (self.reads_pending > self.queue_depth
+               or self.writes_pending > self.write_queue_depth):
             self._schedule_one()
 
     def completion_of(self, req):
         """Schedule until ``req`` has been serviced; return its completion."""
         while req.completion is None:
-            if not self.pending:
+            if not (self.reads_pending or self.writes_pending):
                 raise LookupError(f"{req!r} was never submitted to this controller")
             self._schedule_one()
         return req.completion
@@ -58,28 +149,77 @@ class ChannelController:
     def drain(self):
         """Service everything still queued; return the last completion time."""
         last = self.bus_free
-        while self.pending:
+        while self.reads_pending or self.writes_pending:
             last = self._schedule_one()
         return last
 
     # -- scheduling ---------------------------------------------------------
+    def _bank_index(self, req):
+        return req.rank * self.geometry.banks + req.bank
+
     def _bank_of(self, req):
-        return self.banks[req.rank * self.geometry.banks + req.bank]
+        return self.banks[self._bank_index(req)]
+
+    def _candidate_queues(self):
+        """Which queues the next pick may come from, honouring write drains.
+
+        Plain FCFS never buffers writes: it always considers everything.
+        FR-FCFS serves reads unless a drain episode is in progress (entered
+        at the high watermark, left at the low watermark) or no reads wait.
+        """
+        if self.policy == "fcfs":
+            return self.read_queues + self.write_queues
+        if self.draining:
+            if self.writes_pending <= self.drain_low_count:
+                self.draining = False
+        elif self.writes_pending >= self.drain_high_count:
+            self.draining = True
+            self.stats.write_drain_episodes += 1
+        if self.draining:
+            return self.write_queues
+        if self.reads_pending:
+            return self.read_queues
+        return self.write_queues  # opportunistic: bus is otherwise idle
 
     def _pick(self):
-        """FR-FCFS: index of the first queued request whose buffer is open
-        (plain FCFS under the ablation policy)."""
-        if self.policy == "frfcfs":
-            for i, req in enumerate(self.pending):
-                if self._bank_of(req).matches(req):
-                    return i
-        return 0
+        """Choose the next queue entry to service and remove it."""
+        queues = self._candidate_queues()
+        entries = [e for q in queues for e in q]
+        oldest = min(entries, key=lambda e: e.seq)
+        if self.policy == "fcfs":
+            chosen = oldest
+        else:
+            # Starved requests (bypassed >= age_cap) go first, oldest first.
+            starved = [e for e in entries if e.bypassed >= self.age_cap]
+            if starved:
+                chosen = min(starved, key=lambda e: e.seq)
+                self.stats.starvation_cap_hits += 1
+            else:
+                ready = [
+                    e for e in entries if self._bank_of(e.req).matches(e.req)
+                ]
+                chosen = min(ready, key=lambda e: e.seq) if ready else oldest
+                for entry in entries:
+                    if entry.seq < chosen.seq:
+                        entry.bypassed += 1
+                        if entry.bypassed > self.stats.max_bypass:
+                            self.stats.max_bypass = entry.bypassed
+        source = self.write_queues if chosen.req.is_write else self.read_queues
+        source[self._bank_index(chosen.req)].remove(chosen)
+        if chosen.req.is_write:
+            self.writes_pending -= 1
+        else:
+            self.reads_pending -= 1
+        return chosen.req
 
     def _schedule_one(self):
-        idx = self._pick()
-        req = self.pending.pop(idx)
-        bank = self._bank_of(req)
+        req = self._pick()
+        bank_index = self._bank_index(req)
+        bank = self.banks[bank_index]
         stats = self.stats
+        hits_before = stats.buffer_hits
+        conflicts_before = stats.buffer_conflicts
+        switches_before = stats.orientation_switches
         start, data_at = bank.prepare(req, stats)
         bus_start = max(data_at, self.bus_free)
         end = bus_start + self.timing.burst_cpu
@@ -98,7 +238,44 @@ class ChannelController:
             stats.row_oriented += 1
         stats.bus_busy_cycles += self.timing.burst_cpu
         stats.total_latency_cycles += end - req.arrival
+        stats.latency_hist.record(end - req.arrival)
+        # -- page policy
+        if self.page_policy == "closed":
+            self._close(bank)
+        elif self.page_policy == "adaptive":
+            self._adapt(bank, bank_index, req,
+                        hit=stats.buffer_hits > hits_before,
+                        conflict=stats.buffer_conflicts > conflicts_before,
+                        switched=stats.orientation_switches > switches_before)
         return end
+
+    def _close(self, bank):
+        """Precharge right after the access: the bank pays tRP (plus the
+        write pulse if dirty) in the background, off the request's path."""
+        bank.flush(self.stats, 0)
+        self.stats.buffer_closes += 1
+
+    def _adapt(self, bank, bank_index, req, hit, conflict, switched):
+        """Adaptive page policy: track a per-bank conflict streak and close
+        the buffer once it crosses the threshold.  Orientation switches
+        count double; a close proven wasted (the next access to this bank
+        wanted the entry we closed) resets the bank to open-page mode."""
+        streak = self._conflict_streak[bank_index]
+        if hit:
+            streak = 0
+            self._last_closed[bank_index] = None
+        elif conflict:
+            streak = min(self.adaptive_threshold, streak + (2 if switched else 1))
+        else:  # empty miss: the buffer was closed before this access
+            wanted = (req.buffer_kind, req.subarray, req.buffer_index)
+            if wanted == self._last_closed[bank_index]:
+                streak = 0  # locality came back; the close was wasted
+        if streak >= self.adaptive_threshold:
+            self._last_closed[bank_index] = (
+                bank.open_kind, bank.open_subarray, bank.open_index
+            )
+            self._close(bank)
+        self._conflict_streak[bank_index] = streak
 
     # -- maintenance ---------------------------------------------------------
     def flush_all(self, now=0):
@@ -108,15 +285,17 @@ class ChannelController:
         return now
 
     def reset(self):
-        self.pending.clear()
+        for queue in self.read_queues:
+            queue.clear()
+        for queue in self.write_queues:
+            queue.clear()
+        self.reads_pending = 0
+        self.writes_pending = 0
+        self.draining = False
+        self._conflict_streak = [0] * len(self.banks)
+        self._last_closed = [None] * len(self.banks)
+        self._seq = itertools.count()
         self.bus_free = 0
         self.stats = MemoryStats()
         for bank in self.banks:
-            bank.open_kind = None
-            bank.open_subarray = None
-            bank.open_index = None
-            bank.dirty = False
-            bank.ready_at = 0
-            bank.activated_at = 0
-            bank.accesses = 0
-            bank.activations = 0
+            bank.reset()

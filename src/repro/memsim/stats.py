@@ -1,6 +1,68 @@
 """Statistics counters for the memory system."""
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+
+class LatencyHistogram:
+    """Power-of-two-bucketed request-latency histogram.
+
+    Latencies are binned by bit length, so bucket ``k`` holds requests whose
+    end-to-end latency (completion - arrival, in CPU cycles) lies in
+    ``[2**(k-1), 2**k)``.  Percentiles are reported as the upper bound of the
+    bucket where the cumulative count crosses the requested fraction, which
+    is exact enough for p50/p95/p99 monitoring while keeping merge O(buckets).
+    """
+
+    __slots__ = ("buckets", "count")
+
+    def __init__(self):
+        self.buckets = {}
+        self.count = 0
+
+    def record(self, latency_cycles):
+        bucket = int(latency_cycles).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+
+    def merged(self, other):
+        result = LatencyHistogram()
+        result.count = self.count + other.count
+        result.buckets = dict(self.buckets)
+        for bucket, n in other.buckets.items():
+            result.buckets[bucket] = result.buckets.get(bucket, 0) + n
+        return result
+
+    def percentile(self, pct):
+        """Upper bound (cycles) of the bucket containing the pct-th request."""
+        if not self.count:
+            return 0
+        threshold = pct / 100.0 * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= threshold:
+                return (1 << bucket) - 1
+        return (1 << max(self.buckets)) - 1  # pragma: no cover - loop covers
+
+    def to_dict(self):
+        """``{bucket upper bound: count}`` with ascending bounds."""
+        return {(1 << b) - 1: n for b, n in sorted(self.buckets.items())}
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, LatencyHistogram)
+            and self.buckets == other.buckets
+            and self.count == other.count
+        )
+
+    def __repr__(self):
+        return f"LatencyHistogram({self.count} samples, {len(self.buckets)} buckets)"
+
+
+#: Fields combined with max() (not +) when two stat blocks are merged.
+_MAX_FIELDS = frozenset(
+    ("max_queue_occupancy", "max_bank_queue_occupancy", "max_bypass")
+)
 
 
 @dataclass
@@ -22,6 +84,8 @@ class MemoryStats:
     #: Dirty-buffer flushes that paid the NVM write pulse.
     dirty_flushes: int = 0
     activations: int = 0
+    #: Buffers closed by the page policy (closed/adaptive precharges).
+    buffer_closes: int = 0
     #: CPU cycles the data bus was transferring bursts.
     bus_busy_cycles: int = 0
     #: Total CPU cycles requests spent queued + in service.
@@ -30,6 +94,23 @@ class MemoryStats:
     row_oriented: int = 0
     col_oriented: int = 0
     gathers: int = 0
+    # -- scheduler telemetry -------------------------------------------------
+    #: Times the write queue crossed its high watermark and forced a drain.
+    write_drain_episodes: int = 0
+    #: Times the FR-FCFS age cap forced the oldest request over a buffer hit.
+    starvation_cap_hits: int = 0
+    #: Most times any single request was bypassed (bounded by the age cap).
+    max_bypass: int = 0
+    #: Total queued requests summed over scheduling decisions, plus the
+    #: sample count: ``queue_occupancy_sum / queue_occupancy_samples`` is
+    #: the mean controller occupancy seen by the scheduler.
+    queue_occupancy_sum: int = 0
+    queue_occupancy_samples: int = 0
+    max_queue_occupancy: int = 0
+    #: Deepest any single bank's (read or write) queue ever got.
+    max_bank_queue_occupancy: int = 0
+    #: End-to-end request latency distribution (completion - arrival).
+    latency_hist: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     @property
     def accesses(self):
@@ -58,18 +139,47 @@ class MemoryStats:
             return 0.0
         return self.total_latency_cycles / self.accesses
 
+    @property
+    def avg_queue_occupancy(self):
+        if not self.queue_occupancy_samples:
+            return 0.0
+        return self.queue_occupancy_sum / self.queue_occupancy_samples
+
+    @property
+    def latency_p50(self):
+        return self.latency_hist.percentile(50)
+
+    @property
+    def latency_p95(self):
+        return self.latency_hist.percentile(95)
+
+    @property
+    def latency_p99(self):
+        return self.latency_hist.percentile(99)
+
     def merge(self, other: "MemoryStats") -> "MemoryStats":
-        """Return the element-wise sum of two stat blocks."""
+        """Return the element-wise combination of two stat blocks."""
         merged = MemoryStats()
         for name in vars(self):
-            setattr(merged, name, getattr(self, name) + getattr(other, name))
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if name == "latency_hist":
+                merged.latency_hist = mine.merged(theirs)
+            elif name in _MAX_FIELDS:
+                setattr(merged, name, max(mine, theirs))
+            else:
+                setattr(merged, name, mine + theirs)
         return merged
 
     def snapshot(self) -> dict:
         data = dict(vars(self))
+        data["latency_hist"] = self.latency_hist.to_dict()
         data["accesses"] = self.accesses
         data["buffer_miss_rate"] = self.buffer_miss_rate
         data["average_latency"] = self.average_latency
+        data["avg_queue_occupancy"] = self.avg_queue_occupancy
+        data["latency_p50"] = self.latency_p50
+        data["latency_p95"] = self.latency_p95
+        data["latency_p99"] = self.latency_p99
         return data
 
 

@@ -43,7 +43,12 @@ class MemorySystem:
         supports_gather=False,
         queue_depth=32,
         policy="frfcfs",
+        **sched_kwargs,
     ):
+        """``sched_kwargs`` are forwarded to every channel's
+        :class:`~repro.memsim.controller.ChannelController`: ``page_policy``,
+        ``write_queue_depth``, ``age_cap``, ``drain_high``, ``drain_low``,
+        ``adaptive_threshold``."""
         self.name = name
         self.geometry = geometry
         self.timing = timing
@@ -51,7 +56,8 @@ class MemorySystem:
         self.supports_gather = supports_gather
         self.mapper = AddressMapper(geometry)
         self.controllers = [
-            ChannelController(geometry, timing, supports_column, queue_depth, policy)
+            ChannelController(geometry, timing, supports_column, queue_depth,
+                              policy, **sched_kwargs)
             for _ in range(geometry.channels)
         ]
 
@@ -123,7 +129,7 @@ class MemorySystem:
 
 # -- factory functions for the paper's four systems ---------------------------
 
-def make_dram(geometry=None, queue_depth=32, policy="frfcfs"):
+def make_dram(geometry=None, queue_depth=32, policy="frfcfs", **sched_kwargs):
     """Conventional DDR3-1333 DRAM (Table 1)."""
     return MemorySystem(
         "DRAM",
@@ -131,10 +137,12 @@ def make_dram(geometry=None, queue_depth=32, policy="frfcfs"):
         timings.DDR3_1333_DRAM,
         queue_depth=queue_depth,
         policy=policy,
+        **sched_kwargs,
     )
 
 
-def make_rram(geometry=None, queue_depth=32, timing=None, policy="frfcfs"):
+def make_rram(geometry=None, queue_depth=32, timing=None, policy="frfcfs",
+              **sched_kwargs):
     """Conventional crossbar RRAM without the column-access periphery."""
     return MemorySystem(
         "RRAM",
@@ -142,10 +150,12 @@ def make_rram(geometry=None, queue_depth=32, timing=None, policy="frfcfs"):
         timing or timings.LPDDR3_800_RRAM,
         queue_depth=queue_depth,
         policy=policy,
+        **sched_kwargs,
     )
 
 
-def make_rcnvm(geometry=None, queue_depth=32, timing=None, policy="frfcfs"):
+def make_rcnvm(geometry=None, queue_depth=32, timing=None, policy="frfcfs",
+               **sched_kwargs):
     """RC-NVM: RRAM with dual addressing and a column buffer per bank."""
     return MemorySystem(
         "RC-NVM",
@@ -154,10 +164,11 @@ def make_rcnvm(geometry=None, queue_depth=32, timing=None, policy="frfcfs"):
         supports_column=True,
         queue_depth=queue_depth,
         policy=policy,
+        **sched_kwargs,
     )
 
 
-def make_gsdram(geometry=None, queue_depth=32, policy="frfcfs"):
+def make_gsdram(geometry=None, queue_depth=32, policy="frfcfs", **sched_kwargs):
     """GS-DRAM baseline [Seshadri et al., MICRO 2015]: DRAM whose chips can
     gather one 8-byte field from 8 tuples resident in a single open row."""
     return MemorySystem(
@@ -167,6 +178,7 @@ def make_gsdram(geometry=None, queue_depth=32, policy="frfcfs"):
         supports_gather=True,
         queue_depth=queue_depth,
         policy=policy,
+        **sched_kwargs,
     )
 
 

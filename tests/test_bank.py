@@ -153,3 +153,22 @@ class TestFlush:
 
     def test_flush_idle_is_noop(self, bank, stats):
         assert bank.flush(stats, now=123) == 123
+
+
+class TestReset:
+    def test_reset_restores_power_on_state(self, bank, stats):
+        bank.prepare(request(row=3, is_write=True), stats)
+        bank.reset()
+        fresh = Bank(LPDDR3_800_RCNVM, supports_column=True)
+        for attr in ("open_kind", "open_subarray", "open_index", "dirty",
+                     "ready_at", "activated_at", "accesses", "activations"):
+            assert getattr(bank, attr) == getattr(fresh, attr)
+
+    def test_reset_keeps_endurance_hooks(self, bank, stats):
+        sentinel = object()
+        bank.wear_tracker = sentinel
+        bank.wear_identity = (0, 0, 0)
+        bank.prepare(request(row=3), stats)
+        bank.reset()
+        assert bank.wear_tracker is sentinel
+        assert bank.wear_identity == (0, 0, 0)

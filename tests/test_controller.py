@@ -149,3 +149,180 @@ class TestStatistics:
         assert controller.stats.accesses == 0
         assert controller.bus_free == 0
         assert all(bank.open_kind is None for bank in controller.banks)
+
+    def test_latency_histogram_tracks_every_access(self, controller):
+        for i in range(6):
+            controller.submit(request(row=i, col=i))
+        controller.drain()
+        stats = controller.stats
+        assert stats.latency_hist.count == stats.accesses == 6
+        assert stats.latency_p50 <= stats.latency_p95 <= stats.latency_p99
+
+    def test_occupancy_telemetry(self, controller):
+        for i in range(5):
+            controller.submit(request(row=i))
+        controller.drain()
+        stats = controller.stats
+        assert stats.queue_occupancy_samples == 5
+        assert stats.max_queue_occupancy == 5
+        assert stats.max_bank_queue_occupancy == 5  # all to bank 0
+        assert stats.avg_queue_occupancy == pytest.approx(3.0)  # mean of 1..5
+
+
+def make_controller(**kwargs):
+    kwargs.setdefault("queue_depth", 8)
+    return ChannelController(
+        SMALL_RCNVM_GEOMETRY, LPDDR3_800_RCNVM, supports_column=True, **kwargs
+    )
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_controller(policy="lru")
+
+    def test_unknown_page_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_controller(page_policy="half-open")
+
+    def test_bad_watermarks_rejected(self):
+        with pytest.raises(ValueError):
+            make_controller(drain_high=0.2, drain_low=0.5)
+
+    def test_bad_age_cap_rejected(self):
+        with pytest.raises(ValueError):
+            make_controller(age_cap=0)
+
+    def test_bad_queue_depths_rejected(self):
+        with pytest.raises(ValueError):
+            make_controller(queue_depth=0)
+        with pytest.raises(ValueError):
+            make_controller(write_queue_depth=0)
+
+
+class TestWriteDraining:
+    def test_reads_bypass_buffered_writes(self):
+        controller = make_controller(write_queue_depth=16)
+        writes = [request(row=i, is_write=True, arrival=i) for i in range(4)]
+        for req in writes:
+            controller.submit(req)
+        read = request(row=9, arrival=10)
+        controller.submit(read)
+        controller.completion_of(read)
+        # The read resolved while all four writes stayed posted.
+        assert all(w.completion is None for w in writes)
+        controller.drain()
+        assert all(w.completion is not None for w in writes)
+
+    def test_high_watermark_triggers_drain_episode(self):
+        controller = make_controller(write_queue_depth=8, drain_high=0.5,
+                                     drain_low=0.25)
+        reads = [request(row=i, arrival=0) for i in range(3)]
+        for req in reads:
+            controller.submit(req)
+        for i in range(4):  # reaches the high watermark (4 = 8 * 0.5)
+            controller.submit(request(row=i, bank=1, is_write=True, arrival=0))
+        controller.drain()
+        assert controller.stats.write_drain_episodes == 1
+
+    def test_drain_runs_down_to_low_watermark(self):
+        controller = make_controller(write_queue_depth=8, drain_high=0.5,
+                                     drain_low=0.25)
+        for i in range(4):
+            controller.submit(request(row=i, is_write=True, arrival=0))
+        read = request(row=9, arrival=0)
+        controller.submit(read)
+        controller.completion_of(read)
+        # The drain episode serviced writes until occupancy <= 2 before the
+        # scheduler returned to reads.
+        assert controller.writes_pending <= 2
+
+    def test_fcfs_never_buffers_writes(self):
+        controller = make_controller(policy="fcfs")
+        write = request(row=1, is_write=True, arrival=0)
+        read = request(row=2, arrival=1)
+        controller.submit(write)
+        controller.submit(read)
+        controller.completion_of(read)
+        assert write.completion is not None
+        assert write.completion < read.completion
+
+
+class TestStarvationAgeCap:
+    def test_age_cap_bounds_bypasses(self):
+        cap = 3
+        controller = make_controller(age_cap=cap, queue_depth=32)
+        opener = request(row=1, col=0)
+        controller.submit(opener)
+        controller.completion_of(opener)
+        victim = request(row=2, col=0)
+        controller.submit(victim)
+        hits = [request(row=1, col=c + 1) for c in range(16)]
+        for req in hits:
+            controller.submit(req)
+        controller.drain()
+        served_first = sum(1 for h in hits if h.completion < victim.completion)
+        assert served_first == cap
+        assert controller.stats.starvation_cap_hits >= 1
+        assert controller.stats.max_bypass <= cap
+
+
+class TestPagePolicies:
+    def test_closed_policy_precharges_after_every_access(self):
+        controller = make_controller(page_policy="closed")
+        for i in range(3):
+            controller.submit(request(row=4, col=i))
+        controller.drain()
+        stats = controller.stats
+        assert stats.buffer_hits == 0
+        assert stats.buffer_closes == 3
+        assert all(bank.open_kind is None for bank in controller.banks)
+
+    def test_open_policy_never_closes(self):
+        controller = make_controller(page_policy="open")
+        for i in range(3):
+            controller.submit(request(row=4, col=i))
+        controller.drain()
+        assert controller.stats.buffer_closes == 0
+        assert controller.stats.buffer_hits == 2
+
+    def test_adaptive_stays_open_on_hits(self):
+        controller = make_controller(page_policy="adaptive", adaptive_threshold=2)
+        for i in range(6):
+            controller.submit(request(row=4, col=i))
+        controller.drain()
+        assert controller.stats.buffer_closes == 0
+        assert controller.stats.buffer_hits == 5
+
+    def test_adaptive_closes_after_conflict_streak(self):
+        controller = make_controller(page_policy="adaptive", adaptive_threshold=2)
+        reqs = [request(row=i % 5) for i in range(8)]
+        for req in reqs:
+            controller.submit(req)
+            controller.completion_of(req)
+        stats = controller.stats
+        # After two conflicts the bank flips to closed-page behaviour:
+        # conflicts stop accruing and closes start.
+        assert stats.buffer_closes >= 4
+        assert stats.buffer_conflicts == 2
+
+    def test_adaptive_reopens_when_locality_returns(self):
+        controller = make_controller(page_policy="adaptive", adaptive_threshold=2)
+        trace = [request(row=i % 5) for i in range(6)]  # drive into closed mode
+        trace += [request(row=7, col=c) for c in range(6)]  # streaming again
+        for req in trace:
+            controller.submit(req)
+            controller.completion_of(req)
+        # The second access to row 7 found it just closed, snapped back to
+        # open-page mode, and the rest of the stream hit.
+        assert controller.stats.buffer_hits >= 4
+
+    def test_orientation_switch_counts_double(self):
+        controller = make_controller(page_policy="adaptive", adaptive_threshold=2)
+        first = request(row=3, col=3, orientation=Orientation.ROW)
+        second = request(row=3, col=3, orientation=Orientation.COLUMN)
+        for req in (first, second):
+            controller.submit(req)
+            controller.completion_of(req)
+        # One switch conflict (weight 2) already reaches the threshold.
+        assert controller.stats.buffer_closes == 1

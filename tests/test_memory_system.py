@@ -114,3 +114,49 @@ class TestStats:
         snap = memory.stats.snapshot()
         assert snap["accesses"] == 1
         assert "buffer_miss_rate" in snap and "average_latency" in snap
+
+
+#: The full snapshot contract.  Downstream consumers (energy model, figure
+#: tables, benchmark ablations) index these keys by name, so a rename must
+#: fail here first, loudly.
+SNAPSHOT_GOLDEN_KEYS = frozenset({
+    # raw counters
+    "reads", "writes", "buffer_hits", "buffer_empty_misses",
+    "buffer_conflicts", "orientation_switches", "dirty_flushes",
+    "activations", "buffer_closes", "bus_busy_cycles",
+    "total_latency_cycles", "row_oriented", "col_oriented", "gathers",
+    # scheduler telemetry
+    "write_drain_episodes", "starvation_cap_hits", "max_bypass",
+    "queue_occupancy_sum", "queue_occupancy_samples",
+    "max_queue_occupancy", "max_bank_queue_occupancy", "latency_hist",
+    # derived
+    "accesses", "buffer_miss_rate", "average_latency",
+    "avg_queue_occupancy", "latency_p50", "latency_p95", "latency_p99",
+})
+
+
+class TestSnapshotGolden:
+    def test_snapshot_keys_are_exactly_the_golden_set(self):
+        memory = make_small_rcnvm()
+        memory.access(Coordinate(0, 0, 0, 0, 0, 0), Orientation.ROW, False, 0)
+        assert set(memory.stats.snapshot()) == SNAPSHOT_GOLDEN_KEYS
+
+    def test_empty_snapshot_has_same_keys(self):
+        assert set(make_small_rcnvm().stats.snapshot()) == SNAPSHOT_GOLDEN_KEYS
+
+    def test_histogram_fields_are_consistent(self):
+        memory = make_small_rcnvm()
+        for i in range(8):
+            memory.access(
+                Coordinate(0, 0, 0, 0, i, 0), Orientation.ROW, False, i * 10
+            )
+        snap = memory.stats.snapshot()
+        assert isinstance(snap["latency_hist"], dict)
+        assert sum(snap["latency_hist"].values()) == snap["accesses"] == 8
+        assert 0 < snap["latency_p50"] <= snap["latency_p95"] <= snap["latency_p99"]
+
+    def test_histogram_merges_across_channels(self):
+        memory = make_small_rcnvm()
+        memory.access(Coordinate(0, 0, 0, 0, 0, 0), Orientation.ROW, False, 0)
+        memory.access(Coordinate(1, 0, 0, 0, 0, 0), Orientation.ROW, False, 0)
+        assert memory.stats.latency_hist.count == 2

@@ -1,21 +1,36 @@
 """Model-based (stateful) property tests.
 
-Two critical stateful components are checked against trivially-correct
+Three critical stateful components are checked against trivially-correct
 Python models under random operation sequences:
 
 * the set-associative LRU cache against a dict-of-lists model;
 * the MESI directory against a single-writer/multi-reader ownership
-  model.
+  model;
+* the per-bank-queue channel scheduler against a flat-list oracle that
+  implements the same scheduling spec directly over one submission-order
+  list (no per-bank bookkeeping, no incremental occupancy counters).
 """
 
 from hypothesis import settings
-from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
 from hypothesis import strategies as st
 
 from repro.cache.cache import Cache
 from repro.cache.coherence import Mesi, MesiDirectory
 from repro.cache.line import line_key
 from repro.core.addressing import Orientation
+from repro.geometry import SMALL_RCNVM_GEOMETRY
+from repro.memsim.bank import Bank
+from repro.memsim.controller import ChannelController
+from repro.memsim.request import MemRequest
+from repro.memsim.stats import MemoryStats
+from repro.memsim.timing import LPDDR3_800_RCNVM
 
 KEYS = [line_key(i * 64, Orientation.ROW) for i in range(24)]
 
@@ -124,9 +139,206 @@ class MesiModel(RuleBasedStateMachine):
                 assert self.directory.state_of(core, key) is not None
 
 
+class FlatListOracle:
+    """Brute-force scheduler reference: one flat submission-order list.
+
+    Implements the ChannelController scheduling spec as directly as
+    possible — every decision scans the whole list — so any divergence in
+    the controller's per-bank queues, incremental occupancy counts, or
+    drain bookkeeping shows up as a completion-time mismatch."""
+
+    def __init__(self, geometry, timing, supports_column, queue_depth,
+                 policy, page_policy, age_cap, drain_high, drain_low,
+                 adaptive_threshold):
+        self.geometry = geometry
+        self.timing = timing
+        self.queue_depth = queue_depth
+        self.policy = policy
+        self.page_policy = page_policy
+        self.age_cap = age_cap
+        self.drain_high_count = max(1, int(queue_depth * drain_high))
+        self.drain_low_count = int(queue_depth * drain_low)
+        self.adaptive_threshold = adaptive_threshold
+        n_banks = geometry.ranks * geometry.banks
+        self.banks = [Bank(timing, supports_column) for _ in range(n_banks)]
+        self.pending = []  # [request, bypass_count] in submission order
+        self.draining = False
+        self.streaks = [0] * n_banks
+        self.last_closed = [None] * n_banks
+        self.bus_free = 0
+        self.stats = MemoryStats()
+
+    def _bank_index(self, req):
+        return req.rank * self.geometry.banks + req.bank
+
+    def submit(self, req):
+        self.pending.append([req, 0])
+        while (len([e for e in self.pending if not e[0].is_write]) > self.queue_depth
+               or len([e for e in self.pending if e[0].is_write]) > self.queue_depth):
+            self._step()
+
+    def completion_of(self, req):
+        while req.completion is None:
+            self._step()
+        return req.completion
+
+    def drain(self):
+        last = self.bus_free
+        while self.pending:
+            last = self._step()
+        return last
+
+    def _candidates(self):
+        if self.policy == "fcfs":
+            return self.pending
+        writes = [e for e in self.pending if e[0].is_write]
+        if self.draining:
+            if len(writes) <= self.drain_low_count:
+                self.draining = False
+        elif len(writes) >= self.drain_high_count:
+            self.draining = True
+        if self.draining:
+            return writes
+        reads = [e for e in self.pending if not e[0].is_write]
+        return reads if reads else writes
+
+    def _step(self):
+        candidates = self._candidates()  # submission order preserved
+        if self.policy == "fcfs":
+            entry = candidates[0]
+        else:
+            starved = [e for e in candidates if e[1] >= self.age_cap]
+            if starved:
+                entry = starved[0]
+            else:
+                ready = [
+                    e for e in candidates
+                    if self.banks[self._bank_index(e[0])].matches(e[0])
+                ]
+                entry = ready[0] if ready else candidates[0]
+                for other in candidates:
+                    if other is entry:
+                        break
+                    other[1] += 1
+        self.pending.remove(entry)
+        req = entry[0]
+        bank_index = self._bank_index(req)
+        bank = self.banks[bank_index]
+        stats = self.stats
+        hit0, conflict0, switch0 = (stats.buffer_hits, stats.buffer_conflicts,
+                                    stats.orientation_switches)
+        _start, data_at = bank.prepare(req, stats)
+        end = max(data_at, self.bus_free) + self.timing.burst_cpu
+        self.bus_free = end
+        req.completion = end
+        if self.page_policy == "closed":
+            bank.flush(stats, 0)
+        elif self.page_policy == "adaptive":
+            streak = self.streaks[bank_index]
+            if stats.buffer_hits > hit0:
+                streak = 0
+                self.last_closed[bank_index] = None
+            elif stats.buffer_conflicts > conflict0:
+                weight = 2 if stats.orientation_switches > switch0 else 1
+                streak = min(self.adaptive_threshold, streak + weight)
+            else:
+                wanted = (req.buffer_kind, req.subarray, req.buffer_index)
+                if wanted == self.last_closed[bank_index]:
+                    streak = 0
+            if streak >= self.adaptive_threshold:
+                self.last_closed[bank_index] = (
+                    bank.open_kind, bank.open_subarray, bank.open_index
+                )
+                bank.flush(stats, 0)
+            self.streaks[bank_index] = streak
+        return end
+
+
+def _mirrored_request(bank, row, col, orientation, is_write, arrival):
+    """Two identical requests, one per implementation under test."""
+    return [
+        MemRequest(channel=0, rank=0, bank=bank, subarray=0, row=row,
+                   col=col, orientation=orientation, is_write=is_write,
+                   arrival=arrival)
+        for _ in range(2)
+    ]
+
+
+class SchedulerVsOracle(RuleBasedStateMachine):
+    """The per-bank-queue controller vs. the flat-list oracle, under the
+    same operation sequence: all policies x row/column/gather requests."""
+
+    def __init__(self):
+        super().__init__()
+        self.pairs = []
+        self.now = 0
+
+    @initialize(
+        policy=st.sampled_from(ChannelController.POLICIES),
+        page_policy=st.sampled_from(ChannelController.PAGE_POLICIES),
+        age_cap=st.integers(1, 5),
+    )
+    def setup(self, policy, page_policy, age_cap):
+        config = dict(
+            queue_depth=5, policy=policy, page_policy=page_policy,
+            age_cap=age_cap, drain_high=0.6, drain_low=0.2,
+            adaptive_threshold=2,
+        )
+        self.controller = ChannelController(
+            SMALL_RCNVM_GEOMETRY, LPDDR3_800_RCNVM, supports_column=True,
+            **config,
+        )
+        self.oracle = FlatListOracle(
+            SMALL_RCNVM_GEOMETRY, LPDDR3_800_RCNVM, supports_column=True,
+            **config,
+        )
+
+    @rule(
+        bank=st.integers(0, 3),
+        row=st.integers(0, 3),
+        col=st.integers(0, 3),
+        orientation=st.sampled_from([Orientation.ROW, Orientation.COLUMN,
+                                     Orientation.GATHER]),
+        is_write=st.booleans(),
+        gap=st.integers(0, 50),
+    )
+    def submit(self, bank, row, col, orientation, is_write, gap):
+        self.now += gap
+        for_ctrl, for_oracle = _mirrored_request(
+            bank, row, col, orientation, is_write, self.now
+        )
+        self.pairs.append((for_ctrl, for_oracle))
+        self.controller.submit(for_ctrl)
+        self.oracle.submit(for_oracle)
+
+    @precondition(lambda self: self.pairs)
+    @rule(data=st.data())
+    def resolve_one(self, data):
+        index = data.draw(st.integers(0, len(self.pairs) - 1))
+        for_ctrl, for_oracle = self.pairs[index]
+        assert (self.controller.completion_of(for_ctrl)
+                == self.oracle.completion_of(for_oracle))
+
+    @rule()
+    def drain(self):
+        assert self.controller.drain() == self.oracle.drain()
+
+    @invariant()
+    def queues_and_completions_agree(self):
+        if not hasattr(self, "controller"):
+            return  # before @initialize ran
+        assert len(self.controller.pending) == len(self.oracle.pending)
+        for for_ctrl, for_oracle in self.pairs:
+            assert for_ctrl.completion == for_oracle.completion
+
+
 TestLruCacheModel = LruCacheModel.TestCase
 TestLruCacheModel.settings = settings(max_examples=40, stateful_step_count=40,
                                       deadline=None)
 TestMesiModel = MesiModel.TestCase
 TestMesiModel.settings = settings(max_examples=30, stateful_step_count=30,
                                   deadline=None)
+TestSchedulerVsOracle = SchedulerVsOracle.TestCase
+TestSchedulerVsOracle.settings = settings(max_examples=40,
+                                          stateful_step_count=40,
+                                          deadline=None)
