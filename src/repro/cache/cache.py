@@ -49,7 +49,7 @@ class Cache:
     # -- lookups ---------------------------------------------------------------
     def lookup(self, key):
         """Return the resident line and refresh its LRU position, or None."""
-        cache_set = self.set_of(key)
+        cache_set = self.sets[key & self._set_mask]
         line = cache_set.get(key)
         if line is not None:
             cache_set.move_to_end(key)
@@ -60,7 +60,7 @@ class Cache:
 
     def probe(self, key):
         """Tag check without LRU update or hit/miss accounting."""
-        return self.set_of(key).get(key)
+        return self.sets[key & self._set_mask].get(key)
 
     def contains(self, key):
         return key in self.set_of(key)
@@ -73,7 +73,7 @@ class Cache:
         :class:`CacheLine` or ``None``.  Installing a key that is already
         resident just refreshes it.
         """
-        cache_set = self.set_of(key)
+        cache_set = self.sets[key & self._set_mask]
         line = cache_set.get(key)
         if line is not None:
             cache_set.move_to_end(key)

@@ -14,9 +14,11 @@ system; conventional systems pass ``synonym=None`` and skip it entirely.
 
 from repro.core.addressing import Orientation
 from repro.cache.cache import Cache
-from repro.cache.line import key_orientation
+from repro.cache.line import CacheLine, SPACE_SHIFT, key_orientation
 
 MISS = -1
+
+_GATHER_TAG = int(Orientation.GATHER)
 
 
 class CacheHierarchy:
@@ -28,6 +30,9 @@ class CacheHierarchy:
             raise ValueError("hierarchy needs at least one cache level")
         self.levels = list(levels)
         self.llc = self.levels[-1]
+        #: Non-LLC levels in fill order (upper levels last-to-first) — the
+        #: fill path runs once per LLC miss and must not re-slice.
+        self._upper_rev = tuple(reversed(self.levels[:-1]))
         self.synonym = synonym
         #: Number of LLC-resident lines per orientation; used to skip
         #: crossing checks when no opposite-orientation line exists.
@@ -63,13 +68,47 @@ class CacheHierarchy:
         :attr:`pending_writebacks` for the machine to issue to memory.
         """
         extra = self._install_llc(key, pinned=pin)
-        for level in reversed(self.levels[:-1]):
+        for level in self._upper_rev:
             _line, victim = level.install(key, dirty=False)
             if victim is not None:
                 self._demote(level, victim)
         if is_write:
             self.levels[0].probe(key).dirty = True
             extra += self._on_write(key, word_mask)
+        return extra
+
+    def fill_absent_read(self, key):
+        """Read-fill a key known to be absent from every level.
+
+        Exactly ``fill(key, is_write=False)`` minus the membership
+        re-checks each :meth:`Cache.install` would repeat — the replay
+        fast path only fills after a full-miss lookup, so the key cannot
+        be resident anywhere.  Returns ``synonym_cycles``.
+        """
+        extra = 0
+        llc = self.llc
+        cache_set = llc.sets[key & llc._set_mask]
+        victim = None
+        if len(cache_set) >= llc.ways:
+            victim = llc._evict_one(cache_set)
+        cache_set[key] = line = CacheLine(key)
+        llc.stats.fills += 1
+        if victim is not None:
+            extra += self._on_llc_eviction(victim)
+        if self.synonym is not None:
+            tag = key >> SPACE_SHIFT
+            if tag != _GATHER_TAG:
+                self._counts[tag] += 1
+            extra += self._crossing_check(line)
+        for level in self._upper_rev:
+            cache_set = level.sets[key & level._set_mask]
+            victim = None
+            if len(cache_set) >= level.ways:
+                victim = level._evict_one(cache_set)
+            cache_set[key] = CacheLine(key)
+            level.stats.fills += 1
+            if victim is not None:
+                self._demote(level, victim)
         return extra
 
     def unpin(self, key):
@@ -127,9 +166,13 @@ class CacheHierarchy:
         line, victim = self.llc.install(key, dirty=False, pinned=pinned)
         if victim is not None:
             extra += self._on_llc_eviction(victim)
-        orientation = key_orientation(key)
-        if orientation is not Orientation.GATHER:
-            self._counts[orientation] += 1
+        if self.synonym is None:
+            # _counts only gates _crossing_check, which is a no-op without
+            # a synonym directory — skip the bookkeeping entirely.
+            return extra
+        tag = key >> SPACE_SHIFT
+        if tag != _GATHER_TAG:
+            self._counts[tag] += 1
         extra += self._crossing_check(line)
         return extra
 
@@ -137,15 +180,14 @@ class CacheHierarchy:
         """Back-invalidate, collect dirtiness, queue writeback, clear
         crossing bits that point at the victim."""
         dirty = victim.dirty
-        for level in self.levels[:-1]:
+        for level in self._upper_rev:
             upper = level.invalidate(victim.key)
             if upper is not None and upper.dirty:
                 dirty = True
-        orientation = key_orientation(victim.key)
         extra = 0
-        if orientation is not Orientation.GATHER:
-            self._counts[orientation] -= 1
-            if victim.crossing and self.synonym is not None:
+        if self.synonym is not None and (victim.key >> SPACE_SHIFT) != _GATHER_TAG:
+            self._counts[victim.key >> SPACE_SHIFT] -= 1
+            if victim.crossing:
                 clears = 0
                 for cross_key, word_self, word_other in self.synonym.crossing_keys(
                     victim.key

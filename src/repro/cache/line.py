@@ -28,9 +28,15 @@ def line_key_from_index(line_index, orientation):
     return (int(orientation) << SPACE_SHIFT) | line_index
 
 
+#: Orientation members by tag value — ``Orientation(tag)`` walks the enum
+#: metaclass's ``__call__`` on every line-key decode, which shows up in the
+#: replay hot loop; a tuple index returns the identical members.
+_SPACE_ORIENTATIONS = (Orientation.ROW, Orientation.COLUMN, Orientation.GATHER)
+
+
 def key_orientation(key):
     """The address space a line key belongs to."""
-    return Orientation(key >> SPACE_SHIFT)
+    return _SPACE_ORIENTATIONS[key >> SPACE_SHIFT]
 
 
 def key_line_index(key):

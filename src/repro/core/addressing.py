@@ -17,6 +17,8 @@ address translation in the memory controller.
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import AddressError
 from repro.geometry import Geometry, WORD_BYTES
 from repro.orientation import Orientation
@@ -77,6 +79,22 @@ class AddressMapper:
         # In the column-oriented format only row and col swap places.
         self._co_row_shift = self._offset_bits
         self._co_col_shift = self._co_row_shift + self._row_bits
+        # Precomputed permutation tables: (source shift, field mask,
+        # destination shift) triples moving the row/col fields between the
+        # two formats, plus the mask of bits both formats share.  Both the
+        # scalar conversions and the vectorized array conversions apply
+        # the same tables, so they agree by construction.
+        self._keep_mask = self._address_mask ^ (
+            ((1 << self._sub_shift) - 1) ^ self._offset_mask
+        )
+        self._perm_row_to_col = (
+            (self._ro_row_shift, self._row_mask, self._co_row_shift),
+            (self._ro_col_shift, self._col_mask, self._co_col_shift),
+        )
+        self._perm_col_to_row = (
+            (self._co_row_shift, self._row_mask, self._ro_row_shift),
+            (self._co_col_shift, self._col_mask, self._ro_col_shift),
+        )
 
     # -- validation ------------------------------------------------------
     def _check(self, coord: Coordinate):
@@ -152,24 +170,72 @@ class AddressMapper:
         return self.decode(address, Orientation.COLUMN)
 
     # -- conversion (the bit permutation of Section 4.2.1) ---------------
+    def _permute(self, address, table):
+        """Apply a permutation table to an int or an int64 ndarray."""
+        out = address & self._keep_mask
+        for src_shift, mask, dst_shift in table:
+            out |= ((address >> src_shift) & mask) << dst_shift
+        return out
+
     def row_to_col_address(self, address: int) -> int:
         """Translate a row-oriented address of a word to its column-oriented
         address (``Row2ColAddr`` in the paper's Figure 11)."""
         self._check_address(address)
-        row = (address >> self._ro_row_shift) & self._row_mask
-        col = (address >> self._ro_col_shift) & self._col_mask
-        upper = address >> self._sub_shift << self._sub_shift
-        offset = address & self._offset_mask
-        return upper | offset | (col << self._co_col_shift) | (row << self._co_row_shift)
+        return self._permute(address, self._perm_row_to_col)
 
     def col_to_row_address(self, address: int) -> int:
         """Inverse of :meth:`row_to_col_address`."""
         self._check_address(address)
-        row = (address >> self._co_row_shift) & self._row_mask
-        col = (address >> self._co_col_shift) & self._col_mask
-        upper = address >> self._sub_shift << self._sub_shift
-        offset = address & self._offset_mask
-        return upper | offset | (row << self._ro_row_shift) | (col << self._ro_col_shift)
+        return self._permute(address, self._perm_col_to_row)
+
+    def _check_address_array(self, addresses):
+        if addresses.size and (
+            int(addresses.min()) < 0 or int(addresses.max()) > self._address_mask
+        ):
+            bad = addresses[(addresses < 0) | (addresses > self._address_mask)]
+            raise AddressError(
+                f"address {int(bad[0]):#x} outside {self._address_bits}-bit space"
+            )
+
+    def row_to_col_addresses(self, addresses):
+        """Vectorized :meth:`row_to_col_address` over an int64 array."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check_address_array(addresses)
+        return self._permute(addresses, self._perm_row_to_col)
+
+    def col_to_row_addresses(self, addresses):
+        """Vectorized :meth:`col_to_row_address` over an int64 array."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check_address_array(addresses)
+        return self._permute(addresses, self._perm_col_to_row)
+
+    def decode_fields(self, addresses, orientations):
+        """Vectorized decode of many addresses at once.
+
+        ``orientations`` is an int array (0 = ROW, 1 = COLUMN) giving the
+        address space each entry of ``addresses`` lives in; gathered
+        addresses are synthetic and must not be passed here.  Returns
+        ``(channel, rank, bank, subarray, row, col)`` int64 arrays — the
+        batched counterpart of :meth:`decode` used by the replay fast
+        path, so the memory controller's hot path never touches scalar
+        bit arithmetic.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        orientations = np.asarray(orientations)
+        self._check_address_array(addresses)
+        is_col = orientations == int(Orientation.COLUMN)
+        row = (addresses >> self._ro_row_shift) & self._row_mask
+        col = (addresses >> self._ro_col_shift) & self._col_mask
+        co_row = (addresses >> self._co_row_shift) & self._row_mask
+        co_col = (addresses >> self._co_col_shift) & self._col_mask
+        return (
+            (addresses >> self._chan_shift) & self._chan_mask,
+            (addresses >> self._rank_shift) & self._rank_mask,
+            (addresses >> self._bank_shift) & self._bank_mask,
+            (addresses >> self._sub_shift) & self._sub_mask,
+            np.where(is_col, co_row, row),
+            np.where(is_col, co_col, col),
+        )
 
     def to_orientation(self, address: int, current: Orientation, wanted: Orientation) -> int:
         """Re-express ``address`` (currently in ``current`` format) in ``wanted``."""

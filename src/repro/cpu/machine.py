@@ -26,8 +26,19 @@ from repro.errors import CapabilityError
 from repro.cache.hierarchy import MISS, CacheHierarchy
 from repro.cache.line import key_address, key_orientation, line_key_from_index
 from repro.cpu.trace import Op
+from repro.cpu.tracebuffer import (
+    LINE_BARRIER,
+    LINE_GATHER,
+    LINE_PIN,
+    LINE_UNPIN,
+    LINE_WRITE,
+    TraceBuffer,
+)
 from repro.geometry import CACHE_LINE_BYTES, WORD_BYTES
+from repro.memsim.request import MemRequest
 from repro.memsim.system import MemorySystem
+
+_ORIENT_OBJS = (Orientation.ROW, Orientation.COLUMN, Orientation.GATHER)
 
 
 @dataclass
@@ -74,6 +85,21 @@ class Machine:
 
     # -- main loop -----------------------------------------------------------
     def run(self, trace) -> RunResult:
+        """Execute a trace.
+
+        A :class:`~repro.cpu.tracebuffer.TraceBuffer` takes the batched
+        fast path over its finalized per-line arrays; any other iterable
+        of :class:`~repro.cpu.trace.Access` takes the precise per-access
+        path.  Both produce bit-for-bit identical :class:`RunResult`s —
+        the fast path replays the same per-line decisions in the same
+        order, it just precomputes everything that does not depend on
+        cache or controller state (see ``tests/test_replay_equivalence``).
+        """
+        if isinstance(trace, TraceBuffer):
+            return self._run_batched(trace.finalize())
+        return self._run_precise(trace)
+
+    def _run_precise(self, trace) -> RunResult:
         result = RunResult()
         hierarchy = self.hierarchy
         memory = self.memory
@@ -136,6 +162,206 @@ class Machine:
         while outstanding:
             now = max(now, memory.completion_of(outstanding.popleft()))
         result.cycles = now
+        memory.drain()  # retire posted writes so statistics are complete
+        result.memory = memory.stats.snapshot()
+        result.caches = hierarchy.stats_by_level()
+        if hierarchy.synonym is not None:
+            result.synonym = hierarchy.synonym.stats.snapshot()
+        return result
+
+    def _run_batched(self, fin) -> RunResult:
+        """Replay a finalized structure-of-arrays trace.
+
+        The per-line work that does not depend on simulator state — line
+        splitting, key packing, write word masks, address decode — was
+        done vectorized at :meth:`TraceBuffer.finalize` time, so this
+        loop only advances the stateful parts (caches, controllers, the
+        core clock) and is careful to do so in exactly the order of
+        :meth:`_run_precise`:
+
+        * plain read lines (no write/pin/barrier/gather/unpin bits) take
+          an inlined L1 probe; a line whose key equals the immediately
+          preceding line's key is a guaranteed L1 hit already at MRU and
+          skips the dict access entirely;
+        * L1 hit/miss statistics from the inlined probe are accumulated
+          locally and flushed into ``l1.stats`` before the snapshot;
+        * LLC misses build their :class:`MemRequest` directly from the
+          precomputed decode columns — the same values the precise
+          path's scalar ``mapper.decode`` produces;
+        * everything else (writes, pins, barriers, gathers, unpins)
+          funnels through the same hierarchy calls the precise path
+          makes.
+        """
+        result = RunResult()
+        hierarchy = self.hierarchy
+        memory = self.memory
+        window = self.window
+        llc_latency = self._llc_latency
+        hit_costs = self._hit_costs
+
+        # The precise path raises on the first column/gather line to
+        # miss; on the fresh caches of a run such a line always misses
+        # (it can never have been filled — the fill sits behind this
+        # very check), so checking the whole trace up front is
+        # equivalent.
+        if fin.has_column and not memory.supports_column:
+            raise CapabilityError(f"{memory.name} does not support column accesses")
+        if fin.has_gather and not memory.supports_gather:
+            raise CapabilityError(f"{memory.name} does not support gathered accesses")
+
+        lkeys, lgaps, lspecials, lmasks, laccs, lorients = fin.replay_lists()
+        dch, drk, dbk, dsa, drow, dcol = fin.decoded_for(memory.mapper)
+
+        levels = hierarchy.levels
+        n_levels = len(levels)
+        l1 = levels[0]
+        l1_sets = l1.sets
+        l1_set_mask = l1._set_mask
+        promote = hierarchy._promote
+        fill_absent_read = hierarchy.fill_absent_read
+        lookup = hierarchy.lookup
+        controllers = memory.controllers
+        completion_of = memory.completion_of
+        coords = fin.coords
+        outstanding = deque()
+        outstanding_append = outstanding.append
+        outstanding_popleft = outstanding.popleft
+
+        now = 0
+        prev_key = -1  # key of the last processed line; resident at L1 MRU
+        c_l1_hits = 0  # local Cache-stats counters for the inlined L1 probe
+        c_l1_misses = 0
+        r_l1 = r_l2 = r_l3 = 0
+        llc_misses = 0
+        writebacks = 0
+        synonym_cycles = 0
+
+        for i, key, gap, special in zip(range(len(lkeys)), lkeys, lgaps, lspecials):
+            if gap:
+                now += gap
+            if special == 0:
+                # -- plain read line: the hot path.
+                if key == prev_key:
+                    c_l1_hits += 1
+                    r_l1 += 1
+                    continue
+                cache_set = l1_sets[key & l1_set_mask]
+                if cache_set.get(key) is not None:
+                    cache_set.move_to_end(key)
+                    c_l1_hits += 1
+                    r_l1 += 1
+                    prev_key = key
+                    continue
+                c_l1_misses += 1
+                prev_key = key
+                hit_level = MISS
+                for idx in range(1, n_levels):
+                    if levels[idx].lookup(key) is not None:
+                        promote(key, idx)
+                        hit_level = idx
+                        break
+                if hit_level != MISS:
+                    now += hit_costs[hit_level]
+                    if hit_level == 1:
+                        r_l2 += 1
+                    else:
+                        r_l3 += 1
+                    continue
+                llc_misses += 1
+                channel = dch[i]
+                req = MemRequest(
+                    channel, drk[i], dbk[i], dsa[i], drow[i], dcol[i],
+                    _ORIENT_OBJS[lorients[i]], False, now + llc_latency,
+                )
+                controllers[channel].submit(req)
+                outstanding_append(req)
+                if len(outstanding) > window:
+                    oldest = outstanding_popleft()
+                    done = controllers[oldest.channel].completion_of(oldest)
+                    if done > now:
+                        now = done
+                extra = fill_absent_read(key)
+                if extra:
+                    now += extra
+                    synonym_cycles += extra
+                if hierarchy.pending_writebacks:
+                    for victim_key in hierarchy.drain_writebacks():
+                        writebacks += 1
+                        self._writeback(victim_key, now)
+                continue
+            # -- special lines: unpins, barriers, writes, pins, gathers.
+            if special & LINE_UNPIN:
+                hierarchy.unpin(key)
+                continue
+            if special & LINE_BARRIER:
+                while outstanding:
+                    done = completion_of(outstanding_popleft())
+                    if done > now:
+                        now = done
+            is_write = (special & LINE_WRITE) != 0
+            word_mask = lmasks[i]
+            level, extra = lookup(key, is_write, word_mask)
+            if extra:
+                now += extra
+                synonym_cycles += extra
+            prev_key = key
+            if level != MISS:
+                now += hit_costs[level]
+                if level == 0:
+                    r_l1 += 1
+                elif level == 1:
+                    r_l2 += 1
+                else:
+                    r_l3 += 1
+                if special & LINE_PIN:
+                    hierarchy.pin(key)
+                continue
+            llc_misses += 1
+            if special & LINE_GATHER:
+                coord = coords.get(laccs[i])
+                if coord is None:
+                    raise CapabilityError("gather access requires a device coordinate")
+                req = memory.request_for_coord(
+                    coord, Orientation.GATHER, is_write, now + llc_latency
+                )
+            else:
+                channel = dch[i]
+                req = MemRequest(
+                    channel, drk[i], dbk[i], dsa[i], drow[i], dcol[i],
+                    _ORIENT_OBJS[lorients[i]], is_write, now + llc_latency,
+                )
+                controllers[channel].submit(req)
+            outstanding_append(req)
+            if len(outstanding) > window:
+                done = completion_of(outstanding_popleft())
+                if done > now:
+                    now = done
+            extra = hierarchy.fill(key, is_write, (special & LINE_PIN) != 0, word_mask)
+            if extra:
+                now += extra
+                synonym_cycles += extra
+            if hierarchy.pending_writebacks:
+                for victim_key in hierarchy.drain_writebacks():
+                    writebacks += 1
+                    self._writeback(victim_key, now)
+
+        while outstanding:
+            done = completion_of(outstanding_popleft())
+            if done > now:
+                now = done
+        l1.stats.hits += c_l1_hits
+        l1.stats.misses += c_l1_misses
+        result.cycles = now
+        result.accesses = fin.n_accesses
+        result.reads = fin.n_reads
+        result.writes = fin.n_writes
+        result.lines_touched = fin.n_lines
+        result.l1_hits = r_l1
+        result.l2_hits = r_l2
+        result.l3_hits = r_l3
+        result.llc_misses = llc_misses
+        result.writebacks = writebacks
+        result.synonym_cycles = synonym_cycles
         memory.drain()  # retire posted writes so statistics are complete
         result.memory = memory.stats.snapshot()
         result.caches = hierarchy.stats_by_level()

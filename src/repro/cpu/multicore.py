@@ -20,8 +20,41 @@ from repro.cache.synonym import SynonymDirectory
 from repro.core.addressing import Orientation
 from repro.errors import CapabilityError
 from repro.cpu.trace import Op
+from repro.cpu.tracebuffer import FLAG_BARRIER, FLAG_PIN, TraceBuffer
 from repro.geometry import CACHE_LINE_BYTES, WORD_BYTES
+from repro.memsim.request import MemRequest
 from repro.memsim.system import MemorySystem
+
+_ORIENT_OBJS = (Orientation.ROW, Orientation.COLUMN, Orientation.GATHER)
+_OP_WRITE = int(Op.WRITE)
+_OP_CWRITE = int(Op.CWRITE)
+_OP_GATHER = int(Op.GATHER)
+_OP_UNPIN = int(Op.UNPIN)
+
+
+class _SoaCursor:
+    """Per-core replay position over a finalized structure-of-arrays
+    trace (plain-list columns; see :class:`~repro.cpu.tracebuffer.FinalizedTrace`)."""
+
+    __slots__ = (
+        "pos", "n", "ops", "gaps", "flags", "starts", "counts",
+        "lkeys", "lmasks", "lorients", "coords",
+        "dch", "drk", "dbk", "dsa", "drow", "dcol",
+    )
+
+    def __init__(self, fin, mapper):
+        self.ops, self.gaps, self.flags, self.starts, self.counts = (
+            fin.access_lists()
+        )
+        self.lkeys, _gaps, _special, self.lmasks, _acc, self.lorients = (
+            fin.replay_lists()
+        )
+        self.dch, self.drk, self.dbk, self.dsa, self.drow, self.dcol = (
+            fin.decoded_for(mapper)
+        )
+        self.coords = fin.coords
+        self.pos = 0
+        self.n = len(self.ops)
 
 
 @dataclass
@@ -81,10 +114,38 @@ class MulticoreMachine:
         self.directory = MesiDirectory(privates, llc, synonym=synonym)
 
     def run(self, traces) -> MulticoreResult:
-        """Run one trace per core to completion."""
+        """Run one trace per core to completion.
+
+        Cores whose trace is a :class:`TraceBuffer` step over the
+        finalized per-line arrays (same decisions, precomputed line
+        keys/masks/decodes); any other iterable of ``Access`` objects
+        keeps the precise per-access path.  The heap interleaving is per
+        access either way, so mixing the two kinds is fine.
+        """
         if len(traces) > self.n_cores:
             raise ValueError(f"{len(traces)} traces for {self.n_cores} cores")
-        iterators = [iter(trace) for trace in traces]
+        memory = self.memory
+        cursors = []
+        iterators = []
+        for trace in traces:
+            if isinstance(trace, TraceBuffer):
+                fin = trace.finalize()
+                # Same errors the precise path raises on the first
+                # offending line to miss (which, with fill gated behind
+                # the request, it always reaches before caching one).
+                if fin.has_column and not memory.supports_column:
+                    raise CapabilityError(
+                        f"{memory.name} does not support column accesses"
+                    )
+                if fin.has_gather and not memory.supports_gather:
+                    raise CapabilityError(
+                        f"{memory.name} does not support gathered accesses"
+                    )
+                cursors.append(_SoaCursor(fin, memory.mapper))
+                iterators.append(None)
+            else:
+                cursors.append(None)
+                iterators.append(iter(trace))
         clocks = [0] * len(traces)
         outstanding = [deque() for _ in traces]
         results = [CoreResult() for _ in traces]
@@ -93,6 +154,21 @@ class MulticoreMachine:
         heapq.heapify(active)
         while active:
             _clock, core = heapq.heappop(active)
+            cursor = cursors[core]
+            if cursor is not None:
+                position = cursor.pos
+                if position >= cursor.n:
+                    while outstanding[core]:
+                        clocks[core] = max(
+                            clocks[core],
+                            self.memory.completion_of(outstanding[core].popleft()),
+                        )
+                    results[core].cycles = clocks[core]
+                    continue
+                cursor.pos = position + 1
+                self._step_soa(core, cursor, position, clocks, outstanding, results)
+                heapq.heappush(active, (clocks[core], core))
+                continue
             access = next(iterators[core], None)
             if access is None:
                 while outstanding[core]:
@@ -166,6 +242,81 @@ class MulticoreMachine:
                 )
             if access.pin:
                 self.directory.llc.set_pinned(key, True)
+
+    def _step_soa(self, core, cursor, position, clocks, outstanding, results):
+        """One finalized-trace access for one core — the array twin of
+        :meth:`_step`, making the same calls in the same order."""
+        clocks[core] += cursor.gaps[position]
+        op = cursor.ops[position]
+        start = cursor.starts[position]
+        stop = start + cursor.counts[position]
+        lkeys = cursor.lkeys
+        directory = self.directory
+        if op == _OP_UNPIN:
+            set_pinned = directory.llc.set_pinned
+            for k in range(start, stop):
+                set_pinned(lkeys[k], False)
+            return
+        flags = cursor.flags[position]
+        queue = outstanding[core]
+        if flags & FLAG_BARRIER:
+            while queue:
+                clocks[core] = max(
+                    clocks[core], self.memory.completion_of(queue.popleft())
+                )
+        result = results[core]
+        result.accesses += 1
+        is_write = op == _OP_WRITE or op == _OP_CWRITE
+        is_gather = op == _OP_GATHER
+        pin = (flags & FLAG_PIN) != 0
+        for k in range(start, stop):
+            key = lkeys[k]
+            if is_write:
+                hit, llc_hit, extra, writebacks = directory.write(
+                    core, key, cursor.lmasks[k]
+                )
+            else:
+                hit, llc_hit, extra, writebacks = directory.read(core, key)
+            if extra:
+                clocks[core] += extra
+                result.coherence_cycles += extra
+            for victim_key in writebacks:
+                self._writeback(victim_key, clocks[core])
+            if hit:
+                result.private_hits += 1
+                continue
+            if llc_hit:
+                result.llc_hits += 1
+                clocks[core] += self.llc_latency
+                if pin:
+                    directory.llc.set_pinned(key, True)
+                continue
+            result.misses += 1
+            arrival = clocks[core] + self.llc_latency
+            if is_gather:
+                coord = cursor.coords.get(position)
+                if coord is None:
+                    raise CapabilityError(
+                        "gather access requires a device coordinate"
+                    )
+                req = self.memory.request_for_coord(
+                    coord, Orientation.GATHER, is_write, arrival
+                )
+            else:
+                channel = cursor.dch[k]
+                req = MemRequest(
+                    channel, cursor.drk[k], cursor.dbk[k], cursor.dsa[k],
+                    cursor.drow[k], cursor.dcol[k],
+                    _ORIENT_OBJS[cursor.lorients[k]], is_write, arrival,
+                )
+                self.memory.controllers[channel].submit(req)
+            queue.append(req)
+            if len(queue) > self.window:
+                clocks[core] = max(
+                    clocks[core], self.memory.completion_of(queue.popleft())
+                )
+            if pin:
+                directory.llc.set_pinned(key, True)
 
     def _line_request(self, key, access, arrival):
         orientation = key_orientation(key)

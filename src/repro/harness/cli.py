@@ -67,11 +67,36 @@ def _energy_result(measurements):
         rows=rows,
     )
 
+def _bench_result(args):
+    """Trace-pipeline self-benchmark (see repro.harness.perfbench)."""
+    from repro.harness.figures import FigureResult
+    from repro.harness.perfbench import run_perfbench, write_report
+
+    report = run_perfbench(scale=args.scale, sched_kwargs=args.sched_kwargs)
+    write_report(report, args.bench_out)
+    rows = [
+        ("generation", report["generation"]["accesses_per_sec"], ""),
+        ("replay precise", report["replay_before_precise"]["accesses_per_sec"], ""),
+        (
+            "replay batched",
+            report["replay_after_batched"]["accesses_per_sec"],
+            f"{report['speedup_batched_over_precise']}x vs precise",
+        ),
+    ]
+    return FigureResult(
+        name="Bench",
+        title=f"Trace pipeline throughput (written to {args.bench_out})",
+        headers=("stage", "accesses/sec", "note"),
+        rows=rows,
+    )
+
+
 EXPERIMENTS = ("table1", "table2", "fig4", "fig5", "fig17") + _SQL_GROUP + (
     "fig22",
     "fig23",
     "multicore",
     "energy",
+    "bench",
 )
 
 
@@ -92,6 +117,9 @@ def main(argv=None):
                         help="use the small test geometry and caches")
     parser.add_argument("--verify", action="store_true",
                         help="cross-check every query result against the reference engine")
+    parser.add_argument("--bench-out", default="BENCH_trace_pipeline.json",
+                        help="where the 'bench' experiment writes its JSON "
+                             "report (default BENCH_trace_pipeline.json)")
     sched = parser.add_argument_group(
         "memory scheduler", "controller knobs for the simulation experiments "
         "(fig17-23, multicore, energy)"
@@ -179,6 +207,8 @@ def main(argv=None):
             )
         elif name == "multicore":
             result = _multicore_result(args)
+        elif name == "bench":
+            result = _bench_result(args)
         elif name == "energy":
             if sql_results is None:
                 sql_results, _sql_meas = figures.run_figures_18_21(

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.cpu.multicore import MulticoreMachine
+from repro.cpu.tracebuffer import TraceBuffer
 from repro.harness.systems import build_system
 from repro.workloads.queries import QUERIES
 from repro.workloads.suite import build_benchmark_database
@@ -49,7 +50,7 @@ def build_core_traces(db, core_mix=DEFAULT_CORE_MIX):
     """One trace per core: the concatenation of its queries' accesses."""
     traces = []
     for qids in core_mix:
-        trace = []
+        trace = TraceBuffer()
         for qid in qids:
             spec = QUERIES[qid]
             plan = db.plan(

@@ -1,0 +1,256 @@
+"""Self-benchmarking harness for the vectorized trace pipeline.
+
+Measures, on the Figure 18 SQL workload, the three costs the
+structure-of-arrays trace pipeline targets:
+
+* **trace generation** — planner + executor producing
+  :class:`~repro.cpu.tracebuffer.TraceBuffer` traces;
+* **replay, precise path** — ``Machine.run`` over ``List[Access]``
+  (the representation the per-access path consumes — the "before");
+* **replay, batched path** — ``Machine.run`` over the same traces as
+  ``TraceBuffer`` objects (the "after").
+
+The two replay paths are timed interleaved in the same process, so the
+reported speedup is insensitive to machine load, and every query's
+:class:`RunResult` is compared field-for-field between the paths — the
+equivalence oracle.  A run aborts with nonzero mismatches rather than
+reporting a throughput for a replay that changed the simulation.
+
+Also reported: per-access memory of both trace representations (the
+``__slots__``-objects list vs the NumPy columns) and the process's peak
+RSS.  Results are written as JSON (``BENCH_trace_pipeline.json``); see
+``python -m repro.harness.perfbench --help`` or the ``bench``
+experiment of ``rcnvm-experiments`` (``--bench-out``).
+
+A committed baseline (``benchmarks/bench_baseline.json``) plus
+``--baseline/--max-regression`` turn the harness into a CI smoke gate
+on batched-replay accesses/sec.
+"""
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+import tracemalloc
+
+from repro.harness.experiment import FIGURE_SYSTEMS, SQL_BENCHMARK_IDS
+from repro.harness.systems import build_system
+from repro.workloads.queries import QUERIES
+from repro.workloads.suite import build_benchmark_database
+
+DEFAULT_OUT = "BENCH_trace_pipeline.json"
+
+
+def _generate(systems, qids, scale, sched_kwargs=None):
+    """Build one database per system and generate every query's trace.
+
+    Returns ``(work, gen_seconds, n_accesses)`` where ``work`` is a list
+    of ``(db, qid, buffer)`` entries; only planner+executor time counts
+    toward ``gen_seconds`` (database load is setup, not pipeline cost).
+    """
+    work = []
+    gen_seconds = 0.0
+    n_accesses = 0
+    for system_name in systems:
+        memory = build_system(system_name, **(sched_kwargs or {}))
+        db = build_benchmark_database(memory, scale=scale)
+        for qid in qids:
+            spec = QUERIES[qid]
+            start = time.perf_counter()
+            plan = db.plan(
+                spec.sql, params=spec.params, selectivity_hint=spec.selectivity_hint
+            )
+            _result, buffer = db.executor.execute(plan)
+            gen_seconds += time.perf_counter() - start
+            n_accesses += len(buffer)
+            work.append((db, qid, buffer))
+    return work, gen_seconds, n_accesses
+
+
+def _replay_round(work, traces):
+    """Replay ``traces[i]`` on ``work[i]``'s machine; returns
+    ``(seconds, results)`` with cache/bank state reset outside the
+    timed region (reset cost is not replay cost)."""
+    seconds = 0.0
+    results = []
+    for (db, _qid, _buffer), trace in zip(work, traces):
+        db.reset_timing()
+        start = time.perf_counter()
+        results.append(db.machine.run(trace))
+        seconds += time.perf_counter() - start
+    return seconds, results
+
+
+def _measure_allocation(work):
+    """Per-access bytes of both trace representations.
+
+    The ``List[Access]`` number is measured with :mod:`tracemalloc`
+    (``__slots__`` keeps it low; this is the satellite's allocation
+    metric), the columnar number is the NumPy arrays' actual storage.
+    """
+    n = sum(len(buffer) for _db, _qid, buffer in work)
+    if not n:
+        return {}
+    tracemalloc.start()
+    before, _peak = tracemalloc.get_traced_memory()
+    materialized = [list(buffer.to_accesses()) for _db, _qid, buffer in work]
+    after, _peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    list_bytes = max(0, after - before)
+    del materialized
+    soa_bytes = sum(
+        sum(column.nbytes for column in buffer.columns())
+        for _db, _qid, buffer in work
+    )
+    return {
+        "accesses": n,
+        "list_of_access_bytes_per_access": round(list_bytes / n, 1),
+        "soa_bytes_per_access": round(soa_bytes / n, 1),
+    }
+
+
+def run_perfbench(scale=0.1, systems=FIGURE_SYSTEMS, qids=SQL_BENCHMARK_IDS,
+                  rounds=3, sched_kwargs=None):
+    """Run the full benchmark; returns the result dict (JSON-ready)."""
+    work, gen_seconds, n_accesses = _generate(systems, qids, scale, sched_kwargs)
+    buffers = [buffer for _db, _qid, buffer in work]
+    access_lists = [list(buffer.to_accesses()) for buffer in buffers]
+
+    # Warm both paths once (finalize caches, code paths JIT-warm in the
+    # bytecode-cache sense), then time interleaved rounds and keep the
+    # best of each — the fair same-conditions comparison.
+    _replay_round(work, access_lists)
+    _replay_round(work, buffers)
+    precise_times, batched_times = [], []
+    precise_results = batched_results = None
+    for _ in range(rounds):
+        seconds, precise_results = _replay_round(work, access_lists)
+        precise_times.append(seconds)
+        seconds, batched_results = _replay_round(work, buffers)
+        batched_times.append(seconds)
+
+    mismatches = [
+        (work[i][0].memory.name, work[i][1])
+        for i, (precise, batched) in enumerate(
+            zip(precise_results, batched_results)
+        )
+        if precise != batched
+    ]
+
+    precise_s = min(precise_times)
+    batched_s = min(batched_times)
+    peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    report = {
+        "meta": {
+            "workload": "fig18 SQL suite",
+            "scale": scale,
+            "systems": list(systems),
+            "queries": list(qids),
+            "rounds": rounds,
+            "accesses": n_accesses,
+            "lines": sum(b.finalize().n_lines for b in buffers),
+            "python": platform.python_version(),
+        },
+        "generation": {
+            "seconds": round(gen_seconds, 4),
+            "accesses_per_sec": round(n_accesses / gen_seconds) if gen_seconds else None,
+        },
+        "replay_before_precise": {
+            "seconds": round(precise_s, 4),
+            "accesses_per_sec": round(n_accesses / precise_s),
+        },
+        "replay_after_batched": {
+            "seconds": round(batched_s, 4),
+            "accesses_per_sec": round(n_accesses / batched_s),
+        },
+        "speedup_batched_over_precise": round(precise_s / batched_s, 2),
+        "equivalence": {
+            "checked_queries": len(work),
+            "mismatches": len(mismatches),
+            "mismatched": mismatches,
+        },
+        "allocation": _measure_allocation(work),
+        "peak_rss_kib": peak_rss_kib,
+    }
+    return report
+
+
+def check_regression(report, baseline_path, max_regression=0.25):
+    """Compare batched replay accesses/sec against a committed baseline.
+
+    Returns a list of failure strings (empty = pass).  A report that
+    failed its own equivalence oracle always fails the gate.
+    """
+    failures = []
+    if report["equivalence"]["mismatches"]:
+        failures.append(
+            f"equivalence oracle failed on {report['equivalence']['mismatched']}"
+        )
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    floor = baseline["replay_after_batched"]["accesses_per_sec"] * (1 - max_regression)
+    measured = report["replay_after_batched"]["accesses_per_sec"]
+    if measured < floor:
+        failures.append(
+            f"batched replay regressed: {measured} accesses/sec < "
+            f"{floor:.0f} (baseline {baseline['replay_after_batched']['accesses_per_sec']} "
+            f"- {max_regression:.0%})"
+        )
+    return failures
+
+
+def write_report(report, path):
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Benchmark the trace pipeline (generation + replay)."
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="table-size scale factor (default 0.1)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timed replay rounds, best-of (default 3)")
+    parser.add_argument("--systems", nargs="*", default=list(FIGURE_SYSTEMS),
+                        help="memory systems to run (default: all four)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to gate against (CI smoke check)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional accesses/sec drop vs the "
+                             "baseline (default 0.25)")
+    args = parser.parse_args(argv)
+
+    report = run_perfbench(
+        scale=args.scale, systems=tuple(args.systems), rounds=args.rounds
+    )
+    write_report(report, args.out)
+    before = report["replay_before_precise"]["accesses_per_sec"]
+    after = report["replay_after_batched"]["accesses_per_sec"]
+    print(f"trace generation : {report['generation']['accesses_per_sec']} accesses/sec")
+    print(f"replay precise   : {before} accesses/sec")
+    print(f"replay batched   : {after} accesses/sec "
+          f"({report['speedup_batched_over_precise']}x)")
+    print(f"equivalence      : {report['equivalence']['mismatches']} mismatches "
+          f"over {report['equivalence']['checked_queries']} queries")
+    print(f"written to       : {args.out}")
+    if report["equivalence"]["mismatches"]:
+        print("FAIL: batched replay diverged from the precise path", file=sys.stderr)
+        return 1
+    if args.baseline:
+        failures = check_regression(report, args.baseline, args.max_regression)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"baseline check   : ok (vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.core.addressing import Coordinate, Orientation
 from repro.core import isa
+from repro.cpu.trace import Op
+from repro.cpu.tracebuffer import TraceBuffer
 from repro.errors import SqlError
 from repro.geometry import CACHE_LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
 from repro.imdb.chunks import IntraLayout, Run
@@ -62,8 +64,12 @@ class Executor:
 
     # -- public entry --------------------------------------------------------
     def execute(self, plan):
-        """Run ``plan``; returns ``(QueryResult, trace)``."""
-        trace: List = []
+        """Run ``plan``; returns ``(QueryResult, trace)``.
+
+        The trace is a :class:`~repro.cpu.tracebuffer.TraceBuffer` — a
+        columnar drop-in for ``List[Access]`` that the machine models
+        replay through their batched fast path."""
+        trace = TraceBuffer()
         if isinstance(plan, FilterFetchPlan):
             result = self._run_filter_fetch(plan, trace)
         elif isinstance(plan, AggregatePlan):
@@ -103,15 +109,22 @@ class Executor:
         size = run.count * WORD_BYTES
         if gap is None:
             gap = max(1, run.count // WORDS_PER_LINE)
-        if orientation is Orientation.COLUMN:
-            access = isa.cstore(address, size, gap) if write else isa.cload(
-                address, size, gap, pin=pin
+        if isinstance(trace, TraceBuffer):
+            if orientation is Orientation.COLUMN:
+                op = Op.CWRITE if write else Op.CREAD
+            else:
+                op = Op.WRITE if write else Op.READ
+            trace.emit(int(op), address, size, gap, pin=pin and not write)
+        elif orientation is Orientation.COLUMN:
+            trace.append(
+                isa.cstore(address, size, gap) if write
+                else isa.cload(address, size, gap, pin=pin)
             )
         else:
-            access = isa.store(address, size, gap) if write else isa.load(
-                address, size, gap, pin=pin
+            trace.append(
+                isa.store(address, size, gap) if write
+                else isa.load(address, size, gap, pin=pin)
             )
-        trace.append(access)
         return address, size, orientation
 
     def _read_run_values(self, run):
@@ -149,6 +162,7 @@ class Executor:
         """Row-oriented scan touching the lines that hold the given field
         words, walking memory rows sequentially (DRAM-friendly order)."""
         offsets = sorted(table.field_offset(f, w) for f, w in field_words)
+        emit = trace.emit if isinstance(trace, TraceBuffer) else None
         last_line = None
         for chunk in table.chunks:
             for chunk_row in range(chunk.used_rows()):
@@ -159,7 +173,10 @@ class Executor:
                         address = self._cell_row_address(sub, device_row, device_col)
                         line = address // CACHE_LINE_BYTES
                         if line != last_line:
-                            trace.append(isa.load(address, WORD_BYTES, gap=1))
+                            if emit is not None:
+                                emit(0, address, WORD_BYTES, 1)  # Op.READ
+                            else:
+                                trace.append(isa.load(address, WORD_BYTES, gap=1))
                             last_line = line
 
     def _emit_gather_scan(self, trace, table, field_name, word):
@@ -167,6 +184,7 @@ class Executor:
         consecutive tuples sharing a DRAM row (power-of-two stride)."""
         offset = table.field_offset(field_name, word)
         base = self._gather_base(table.name, offset)
+        buffered = isinstance(trace, TraceBuffer)
         gather_index = 0
         for chunk in table.chunks:
             assert chunk.layout is IntraLayout.ROW and not chunk.placement.rotated
@@ -179,16 +197,24 @@ class Executor:
                     sub, device_row, device_col = chunk.device_cell(row, col)
                     channel, rank, bank, sa = self._sub_coord(sub)
                     coord = Coordinate(channel, rank, bank, sa, device_row, device_col)
-                    trace.append(
-                        isa.gather_load(base + gather_index * CACHE_LINE_BYTES, coord)
-                    )
+                    gather_address = base + gather_index * CACHE_LINE_BYTES
+                    if buffered:
+                        trace.emit(
+                            int(Op.GATHER), gather_address, CACHE_LINE_BYTES, 1,
+                            coord=coord,
+                        )
+                    else:
+                        trace.append(isa.gather_load(gather_address, coord))
                     gather_index += 1
                 for extra in range(rest):
                     local = first_local + full_groups * 8 + extra
                     row, col = chunk.local_cell(local, offset)
                     sub, device_row, device_col = chunk.device_cell(row, col)
                     address = self._cell_row_address(sub, device_row, device_col)
-                    trace.append(isa.load(address, WORD_BYTES, gap=1))
+                    if buffered:
+                        trace.emit(int(Op.READ), address, WORD_BYTES, 1)
+                    else:
+                        trace.append(isa.load(address, WORD_BYTES, gap=1))
 
     def _gather_base(self, table_name, offset):
         key = (table_name, offset)
@@ -273,8 +299,7 @@ class Executor:
                 run = chunk.tuple_cells(local, offset, count)
                 self.emit_run(trace, run, gap=1)
                 values = self._read_run_values(run)
-                for j, value in enumerate(values):
-                    words[offset + j] = int(value)
+                words.update(zip(range(offset, offset + count), values.tolist()))
             rows.append(self._project(table, words, fields))
         return rows
 
@@ -369,12 +394,16 @@ class Executor:
         for name in names:
             field_obj = table.schema.field(name)
             if field_obj.is_wide:
-                words = [table.field_values(name, w)[ids] for w in range(field_obj.words)]
-                columns.append([tuple(int(w[i]) for w in words) for i in range(len(ids))])
+                words = np.stack(
+                    [table.field_values(name, w)[ids] for w in range(field_obj.words)],
+                    axis=1,
+                )
+                columns.append([tuple(row) for row in words.tolist()])
             else:
-                values = table.field_values(name)[ids]
-                columns.append([int(v) for v in values])
-        return [tuple(column[i] for column in columns) for i in range(len(ids))]
+                columns.append(table.field_values(name)[ids].tolist())
+        if not columns:
+            return [() for _ in range(len(ids))]
+        return list(zip(*columns))
 
     # -- plan runners ------------------------------------------------------------
     def _run_filter_fetch(self, plan, trace):
@@ -601,7 +630,13 @@ class Executor:
                     piece = _slice_run(run, start + line_start, 1)
                     self.emit_run(trace, piece, gap=1)
             for address, size, orientation in pinned:
-                trace.append(isa.unpin(address, size, orientation))
+                if isinstance(trace, TraceBuffer):
+                    trace.emit(
+                        int(Op.UNPIN), address, size, gap=0,
+                        orientation=int(orientation),
+                    )
+                else:
+                    trace.append(isa.unpin(address, size, orientation))
 
     def _emit_interleaved(self, trace, runs, count):
         """The naive ordered read: line-by-line across the columns."""

@@ -23,6 +23,7 @@ class Bank:
         "open_kind",
         "open_subarray",
         "open_index",
+        "open_entry",
         "dirty",
         "ready_at",
         "activated_at",
@@ -30,6 +31,12 @@ class Bank:
         "activations",
         "wear_tracker",
         "wear_identity",
+        "_cas_cpu",
+        "_rcd_cpu",
+        "_rp_cpu",
+        "_ras_cpu",
+        "_burst_cpu",
+        "_write_pulse_cpu",
     )
 
     def __init__(self, timing: DeviceTiming, supports_column: bool):
@@ -38,6 +45,9 @@ class Bank:
         self.open_kind = None
         self.open_subarray = None
         self.open_index = None
+        #: The open ``(kind, subarray, index)`` entry as one tuple — the
+        #: scheduler's hit test is a single compare against ``req.want``.
+        self.open_entry = (None, None, None)
         self.dirty = False
         self.ready_at = 0
         self.activated_at = 0
@@ -46,6 +56,13 @@ class Bank:
         #: Optional endurance hooks (repro.memsim.endurance).
         self.wear_tracker = None
         self.wear_identity = None
+        # DeviceTiming is frozen, so its CPU-cycle conversions are constants.
+        self._cas_cpu = timing.cas_cpu
+        self._rcd_cpu = timing.rcd_cpu
+        self._rp_cpu = timing.rp_cpu
+        self._ras_cpu = timing.ras_cpu
+        self._burst_cpu = timing.burst_cpu
+        self._write_pulse_cpu = timing.write_pulse_cpu
 
     def _record_wear(self):
         if self.wear_tracker is not None and self.open_kind is not None:
@@ -62,6 +79,7 @@ class Bank:
         self.open_kind = None
         self.open_subarray = None
         self.open_index = None
+        self.open_entry = (None, None, None)
         self.dirty = False
         self.ready_at = 0
         self.activated_at = 0
@@ -70,14 +88,10 @@ class Bank:
 
     # -- queries -----------------------------------------------------------
     def is_open(self, kind, subarray, index):
-        return (
-            self.open_kind is kind
-            and self.open_subarray == subarray
-            and self.open_index == index
-        )
+        return self.open_entry == (kind, subarray, index)
 
     def matches(self, req):
-        return self.is_open(req.buffer_kind, req.subarray, req.buffer_index)
+        return self.open_entry == req.want
 
     # -- timing ------------------------------------------------------------
     def prepare(self, req, stats):
@@ -96,10 +110,9 @@ class Bank:
                 f"{self.timing.name} has no column buffer; "
                 "column-oriented accesses require RC-NVM"
             )
-        t = self.timing
         start = max(req.arrival, self.ready_at)
         prep = 0
-        if self.matches(req):
+        if self.open_entry == req.want:
             stats.buffer_hits += 1
         else:
             if self.open_kind is None:
@@ -109,25 +122,26 @@ class Bank:
                 if self.open_kind is not kind:
                     stats.orientation_switches += 1
                 # Honour tRAS: a row must stay open long enough for restore.
-                earliest_close = self.activated_at + t.ras_cpu
+                earliest_close = self.activated_at + self._ras_cpu
                 if earliest_close > start:
                     prep += earliest_close - start
                 if self.dirty:
                     # NVM pays the write pulse to flush the buffer back into
                     # the crossbar array; DRAM restore is covered by tRAS.
-                    prep += t.write_pulse_cpu
+                    prep += self._write_pulse_cpu
                     stats.dirty_flushes += 1
                     self._record_wear()
-                prep += t.rp_cpu
-            prep += t.rcd_cpu
+                prep += self._rp_cpu
+            prep += self._rcd_cpu
             stats.activations += 1
             self.activations += 1
             self.open_kind = kind
             self.open_subarray = req.subarray
             self.open_index = req.buffer_index
+            self.open_entry = req.want
             self.activated_at = start + prep
             self.dirty = False
-        data_at = start + prep + t.cas_cpu
+        data_at = start + prep + self._cas_cpu
         if req.is_write:
             self.dirty = True
         self.accesses += 1
@@ -135,23 +149,23 @@ class Bank:
         # after one burst slot (tCCD ~= BL/2); it need not wait for the
         # previous data to finish on the bus.  The shared bus is the
         # serializing resource for open-buffer streams.
-        self.ready_at = start + prep + t.burst_cpu
+        self.ready_at = start + prep + self._burst_cpu
         return start, data_at
 
     def flush(self, stats, now):
         """Close the open buffer (used when a system is reset/drained)."""
         if self.open_kind is None:
             return now
-        t = self.timing
         done = max(now, self.ready_at)
         if self.dirty:
-            done += t.write_pulse_cpu
+            done += self._write_pulse_cpu
             stats.dirty_flushes += 1
             self._record_wear()
-        done += t.rp_cpu
+        done += self._rp_cpu
         self.open_kind = None
         self.open_subarray = None
         self.open_index = None
+        self.open_entry = (None, None, None)
         self.dirty = False
         self.ready_at = done
         return done

@@ -40,14 +40,16 @@ from repro.memsim.stats import MemoryStats
 
 
 class _Queued:
-    """One queue entry: the request, its submission order, and how many
+    """One queue entry: the request, its submission order, its bank's
+    index (cached — the scheduler reads it on every pick), and how many
     times the scheduler has picked a younger request over it."""
 
-    __slots__ = ("seq", "req", "bypassed")
+    __slots__ = ("seq", "req", "bank_index", "bypassed")
 
-    def __init__(self, seq, req):
+    def __init__(self, seq, req, bank_index):
         self.seq = seq
         self.req = req
+        self.bank_index = bank_index
         self.bypassed = 0
 
 
@@ -102,9 +104,16 @@ class ChannelController:
         #: Adaptive page policy state, per bank.
         self._conflict_streak = [0] * n_banks
         self._last_closed = [None] * n_banks
+        #: How many queued reads/writes have hit the starvation age cap.
+        #: Nonzero is rare; the scheduler only scans per-entry bypass
+        #: counters when the class it is picking from has a starved entry.
+        self._starved_reads = 0
+        self._starved_writes = 0
         self._seq = itertools.count()
         self.bus_free = 0
         self.stats = MemoryStats()
+        # DeviceTiming is frozen; cache the per-request burst length.
+        self._burst_cpu = timing.burst_cpu
 
     # -- client interface --------------------------------------------------
     @property
@@ -117,9 +126,10 @@ class ChannelController:
 
     def submit(self, req):
         """Queue a request; may trigger scheduling if a queue fills up."""
-        entry = _Queued(next(self._seq), req)
+        bank_index = req.rank * self.geometry.banks + req.bank
+        entry = _Queued(next(self._seq), req, bank_index)
         queues = self.write_queues if req.is_write else self.read_queues
-        bank_queue = queues[self._bank_index(req)]
+        bank_queue = queues[bank_index]
         bank_queue.append(entry)
         if req.is_write:
             self.writes_pending += 1
@@ -181,40 +191,95 @@ class ChannelController:
             return self.read_queues
         return self.write_queues  # opportunistic: bus is otherwise idle
 
-    def _pick(self):
-        """Choose the next queue entry to service and remove it."""
-        queues = self._candidate_queues()
-        entries = [e for q in queues for e in q]
-        oldest = min(entries, key=lambda e: e.seq)
-        if self.policy == "fcfs":
-            chosen = oldest
-        else:
-            # Starved requests (bypassed >= age_cap) go first, oldest first.
-            starved = [e for e in entries if e.bypassed >= self.age_cap]
-            if starved:
-                chosen = min(starved, key=lambda e: e.seq)
+    def _pick_frfcfs(self, queues):
+        """FR-FCFS pick over one class of per-bank FIFO queues.
+
+        Entries within a queue are seq-ascending (appended at submit,
+        removed anywhere), which the scan exploits: a queue's oldest
+        entry is its head, and its oldest buffer hit is its first
+        want-match, so the common streaming case touches one entry per
+        non-empty queue.  Per-entry starvation counters are only scanned
+        when the class counter says a starved entry exists, and bypass
+        bookkeeping only runs when the pick actually jumped the queue —
+        over each queue's seq < chosen prefix.
+        """
+        is_write_class = queues is self.write_queues
+        starved_count = self._starved_writes if is_write_class else self._starved_reads
+        if starved_count:
+            age_cap = self.age_cap
+            starved = None
+            for queue in queues:
+                for entry in queue:
+                    if entry.bypassed >= age_cap and (
+                        starved is None or entry.seq < starved.seq
+                    ):
+                        starved = entry
+            if starved is not None:
                 self.stats.starvation_cap_hits += 1
+                if is_write_class:
+                    self._starved_writes -= 1
+                else:
+                    self._starved_reads -= 1
+                return starved
+        banks = self.banks
+        oldest = None
+        ready = None
+        for queue in queues:
+            if not queue:
+                continue
+            head = queue[0]
+            if oldest is None or head.seq < oldest.seq:
+                oldest = head
+            if ready is None or head.seq < ready.seq:
+                open_entry = banks[head.bank_index].open_entry
+                for entry in queue:
+                    if entry.req.want == open_entry:
+                        if ready is None or entry.seq < ready.seq:
+                            ready = entry
+                        break
+        if ready is None or ready is oldest:
+            return oldest
+        chosen_seq = ready.seq
+        stats = self.stats
+        max_bypass = stats.max_bypass
+        age_cap = self.age_cap
+        newly_starved = 0
+        for queue in queues:
+            for entry in queue:
+                if entry.seq >= chosen_seq:
+                    break
+                bypassed = entry.bypassed + 1
+                entry.bypassed = bypassed
+                if bypassed > max_bypass:
+                    max_bypass = bypassed
+                if bypassed == age_cap:
+                    newly_starved += 1
+        stats.max_bypass = max_bypass
+        if newly_starved:
+            if is_write_class:
+                self._starved_writes += newly_starved
             else:
-                ready = [
-                    e for e in entries if self._bank_of(e.req).matches(e.req)
-                ]
-                chosen = min(ready, key=lambda e: e.seq) if ready else oldest
-                for entry in entries:
-                    if entry.seq < chosen.seq:
-                        entry.bypassed += 1
-                        if entry.bypassed > self.stats.max_bypass:
-                            self.stats.max_bypass = entry.bypassed
-        source = self.write_queues if chosen.req.is_write else self.read_queues
-        source[self._bank_index(chosen.req)].remove(chosen)
-        if chosen.req.is_write:
-            self.writes_pending -= 1
-        else:
-            self.reads_pending -= 1
-        return chosen.req
+                self._starved_reads += newly_starved
+        return ready
 
     def _schedule_one(self):
-        req = self._pick()
-        bank_index = self._bank_index(req)
+        # Inlined self._pick(): one call per serviced request matters here.
+        queues = self._candidate_queues()
+        if self.policy == "fcfs":
+            entry = None
+            for queue in queues:
+                if queue and (entry is None or queue[0].seq < entry.seq):
+                    entry = queue[0]
+        else:
+            entry = self._pick_frfcfs(queues)
+        req = entry.req
+        if req.is_write:
+            self.write_queues[entry.bank_index].remove(entry)
+            self.writes_pending -= 1
+        else:
+            self.read_queues[entry.bank_index].remove(entry)
+            self.reads_pending -= 1
+        bank_index = entry.bank_index
         bank = self.banks[bank_index]
         stats = self.stats
         hits_before = stats.buffer_hits
@@ -222,7 +287,7 @@ class ChannelController:
         switches_before = stats.orientation_switches
         start, data_at = bank.prepare(req, stats)
         bus_start = max(data_at, self.bus_free)
-        end = bus_start + self.timing.burst_cpu
+        end = bus_start + self._burst_cpu
         self.bus_free = end
         req.completion = end
         # -- statistics
@@ -236,9 +301,15 @@ class ChannelController:
             stats.gathers += 1
         else:
             stats.row_oriented += 1
-        stats.bus_busy_cycles += self.timing.burst_cpu
-        stats.total_latency_cycles += end - req.arrival
-        stats.latency_hist.record(end - req.arrival)
+        stats.bus_busy_cycles += self._burst_cpu
+        latency = end - req.arrival
+        stats.total_latency_cycles += latency
+        # Inlined stats.latency_hist.record(latency) — one call per
+        # serviced request adds up in the replay loop.
+        hist = stats.latency_hist
+        bucket = latency.bit_length()
+        hist.buckets[bucket] = hist.buckets.get(bucket, 0) + 1
+        hist.count += 1
         # -- page policy
         if self.page_policy == "closed":
             self._close(bank)
@@ -294,6 +365,8 @@ class ChannelController:
         self.draining = False
         self._conflict_streak = [0] * len(self.banks)
         self._last_closed = [None] * len(self.banks)
+        self._starved_reads = 0
+        self._starved_writes = 0
         self._seq = itertools.count()
         self.bus_free = 0
         self.stats = MemoryStats()

@@ -29,6 +29,9 @@ class MemRequest:
         "is_write",
         "arrival",
         "completion",
+        "buffer_kind",
+        "buffer_index",
+        "want",
     )
 
     def __init__(self, channel, rank, bank, subarray, row, col, orientation, is_write, arrival):
@@ -43,20 +46,20 @@ class MemRequest:
         self.is_write = is_write
         self.arrival = arrival
         self.completion = None
-
-    @property
-    def buffer_kind(self):
-        """Which bank buffer this request wants: ROW or COLUMN."""
-        if self.orientation is Orientation.COLUMN:
-            return Orientation.COLUMN
-        return Orientation.ROW
-
-    @property
-    def buffer_index(self):
-        """Index of the buffer entry within the subarray (row id or col id)."""
-        if self.orientation is Orientation.COLUMN:
-            return self.col
-        return self.row
+        # Precomputed buffer-entry identity, so the scheduler's inner loop
+        # (Bank.matches, called once per queued entry per pick) is one
+        # tuple compare instead of property calls:
+        #: Which bank buffer this request wants: ROW or COLUMN.
+        #: Index of the buffer entry within the subarray (row id or col id).
+        if orientation is Orientation.COLUMN:
+            self.buffer_kind = Orientation.COLUMN
+            self.buffer_index = col
+        else:
+            self.buffer_kind = Orientation.ROW
+            self.buffer_index = row
+        #: The (kind, subarray, index) entry this request needs open —
+        #: compared against :attr:`Bank.open_entry`.
+        self.want = (self.buffer_kind, subarray, self.buffer_index)
 
     def __repr__(self):
         kind = "W" if self.is_write else "R"

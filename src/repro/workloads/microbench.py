@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cpu.tracebuffer import TraceBuffer
 from repro.geometry import WORD_BYTES
 from repro.imdb.chunks import IntraLayout
 from repro.imdb.database import Database
@@ -78,7 +79,7 @@ def build_micro_database(memory, layout, n_tuples=4096, n_fields=8, cache_config
 def emit_kernel(db, table, kernel: Kernel):
     """Build the kernel's trace (in tuple or field-major order)."""
     executor = db.executor
-    trace = []
+    trace = TraceBuffer()
     if kernel.direction == "row":
         for index in range(table.n_tuples):
             run = table.tuple_run(index)
@@ -95,15 +96,8 @@ def emit_kernel(db, table, kernel: Kernel):
                 start = len(trace)
                 executor.emit_rowwise_field_scan(trace, table, [(field.name, 0)])
                 if kernel.write:
-                    for access in trace[start:]:
-                        access.op = _as_write(access.op)
+                    trace.reads_to_writes(start)
     return trace
-
-
-def _as_write(op):
-    from repro.cpu.trace import Op
-
-    return {Op.READ: Op.WRITE, Op.CREAD: Op.CWRITE}.get(op, op)
 
 
 def run_kernel(system_name, kernel_name, n_tuples=4096, n_fields=8, cache_config=None):

@@ -1,0 +1,69 @@
+"""The equivalence oracle for the batched replay fast path.
+
+``Machine.run`` takes either a ``List[Access]`` (the precise per-access
+path) or a :class:`~repro.cpu.tracebuffer.TraceBuffer` (the batched
+structure-of-arrays path).  The batched path is only a performance
+optimization: on the same trace the two must produce *bit-for-bit*
+identical :class:`RunResult`\\ s — every counter, every cache/memory
+stats snapshot, every latency histogram bucket.  These tests enforce
+that on the SQL benchmark suite (scale from ``REPRO_BENCH_SCALE``,
+default 0.05) for every figure system, and on the multicore OLXP mix.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.systems import build_system
+from repro.workloads.queries import QUERIES
+from repro.workloads.suite import build_benchmark_database
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+SYSTEMS = ("RC-NVM", "RRAM", "GS-DRAM", "DRAM")
+#: A cross-section of the suite: row scans, column scans, gathers,
+#: selective point lookups, and updates (writes + unpins).
+QIDS = ("Q1", "Q3", "Q4", "Q6", "Q10", "Q12")
+
+
+def _query_traces(db, qids=QIDS):
+    for qid in qids:
+        spec = QUERIES[qid]
+        plan = db.plan(
+            spec.sql, params=spec.params, selectivity_hint=spec.selectivity_hint
+        )
+        _result, buffer = db.executor.execute(plan)
+        yield qid, buffer
+
+
+@pytest.mark.parametrize("system_name", SYSTEMS)
+def test_batched_replay_is_bit_for_bit(system_name):
+    memory = build_system(system_name)
+    db = build_benchmark_database(memory, scale=SCALE)
+    for qid, buffer in _query_traces(db):
+        accesses = list(buffer.to_accesses())
+        db.reset_timing()
+        precise = db.machine.run(accesses)
+        db.reset_timing()
+        batched = db.machine.run(buffer)
+        assert precise == batched, (system_name, qid)
+
+
+@pytest.mark.parametrize("system_name", ("RC-NVM", "DRAM"))
+def test_multicore_batched_replay_is_bit_for_bit(system_name):
+    from repro.cpu.multicore import MulticoreMachine
+    from repro.harness.multicore import DEFAULT_CORE_MIX, build_core_traces
+
+    memory = build_system(system_name)
+    db = build_benchmark_database(memory, scale=SCALE)
+    buffers = build_core_traces(db, DEFAULT_CORE_MIX)
+    lists = [list(buffer.to_accesses()) for buffer in buffers]
+
+    memory.reset()
+    machine = MulticoreMachine(memory, n_cores=len(buffers))
+    precise = machine.run(lists)
+
+    memory.reset()
+    machine = MulticoreMachine(memory, n_cores=len(buffers))
+    batched = machine.run(buffers)
+
+    assert precise == batched, system_name
