@@ -59,6 +59,9 @@ class RunResult:
     memory: dict = field(default_factory=dict)
     caches: dict = field(default_factory=dict)
     synonym: dict = field(default_factory=dict)
+    #: Chunk remaps forced by uncorrectable errors during this statement
+    #: (repro.reliability.recovery.DegradationEvent instances).
+    degradation_events: list = field(default_factory=list)
 
     @property
     def coherence_overhead_ratio(self):
@@ -381,6 +384,19 @@ class Machine:
         return self.memory.request_for_line(
             key_address(key), orientation, access.is_write, arrival
         )
+
+    def flush_caches(self, now=0):
+        """Write every dirty cached line back to memory and drain it.
+
+        Used between benchmark phases (e.g. before a reliability fault
+        campaign samples wear) so buffered writes reach the cell arrays.
+        Returns the number of lines written back."""
+        dirty = self.hierarchy.flush()
+        for key in dirty:
+            self._writeback(key, now)
+        self.memory.drain()
+        self.memory.flush_buffers()
+        return len(dirty)
 
     def _writeback(self, key, now):
         """Post a dirty-victim write to memory (the core does not block)."""

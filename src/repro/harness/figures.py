@@ -15,7 +15,7 @@ from repro.harness.experiment import (
     run_sensitivity,
     run_sql_suite,
 )
-from repro.harness.report import format_table, geometric_mean
+from repro.harness.report import format_table, geometric_mean, percentage
 from repro.harness.systems import table1_rows
 from repro.workloads.microbench import KERNELS, MICRO_SYSTEMS, run_microbench
 from repro.workloads.queries import QUERIES, SQL_BENCHMARK_IDS
@@ -183,6 +183,16 @@ def figure21(measurements):
     )
 
 
+def sql_figures_from_measurements(measurements, systems=FIGURE_SYSTEMS):
+    """Derive Figures 18-21 from an existing suite run (no simulation)."""
+    return {
+        "Figure 18": figure18(measurements, systems),
+        "Figure 19": figure19(measurements, systems),
+        "Figure 20": figure20(measurements, systems),
+        "Figure 21": figure21(measurements),
+    }
+
+
 def run_figures_18_21(
     scale=1.0,
     small=False,
@@ -202,12 +212,45 @@ def run_figures_18_21(
         verify=verify,
         sched_kwargs=sched_kwargs,
     )
-    return {
-        "Figure 18": figure18(measurements, systems),
-        "Figure 19": figure19(measurements, systems),
-        "Figure 20": figure20(measurements, systems),
-        "Figure 21": figure21(measurements),
-    }, measurements
+    return sql_figures_from_measurements(measurements, systems), measurements
+
+
+# -- reliability (extension) -----------------------------------------------------------
+
+def faults_figure(outcomes):
+    """The ``faults`` experiment's table (see repro.harness.reliability)."""
+    rows = [
+        (
+            o.system,
+            o.injected,
+            o.corrected,
+            o.detected,
+            o.recovered,
+            o.scrub_reads,
+            o.scrub_cycles,
+            o.retired_cells,
+            o.wear_imbalance,
+            f"{o.resweep_corrected}/{o.resweep_detected}",
+        )
+        for o in outcomes
+    ]
+    total_injected = sum(o.injected for o in outcomes)
+    total_corrected = sum(o.corrected for o in outcomes)
+    return FigureResult(
+        name="Faults",
+        title="Fault injection, scrub, and recovery (extension)",
+        headers=(
+            "system", "injected", "corrected", "detected", "recovered",
+            "scrub reads", "scrub cycles", "retired cells",
+            "wear imbalance", "resweep c/d",
+        ),
+        rows=rows,
+        notes=(
+            f"{percentage(total_corrected, total_injected)} of injected "
+            "faults were single-bit (corrected in place); every detected "
+            "double-bit cell was recovered by chunk remap"
+        ),
+    )
 
 
 # -- sensitivity and group caching ----------------------------------------------------

@@ -39,6 +39,13 @@ def speedup(baseline, value):
     return baseline / value
 
 
+def percentage(part, whole):
+    """``part`` as a percentage string of ``whole`` (guarding zero)."""
+    if not whole:
+        return "0.0%"
+    return f"{100.0 * part / whole:.1f}%"
+
+
 def geometric_mean(values):
     product = 1.0
     count = 0

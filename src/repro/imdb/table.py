@@ -28,6 +28,14 @@ class Table:
         self.allocator = allocator
         self.chunks = []
         self.n_tuples = 0
+        #: Optional :class:`~repro.memsim.ecc.EccStore`; when set, every
+        #: chunk keeps a packed backup (its functional reference copy) and
+        #: all writes keep the ECC check bits fresh.
+        self.ecc = None
+        #: Callback ``(table, chunk, cell)`` invoked when a demand read
+        #: hits an uncorrectable cell; the database installs its chunk
+        #: remap here.  Without one, uncorrectable reads raise.
+        self.recovery = None
         #: Equality indexes by field name (repro.imdb.index.HashIndex).
         self.indexes = {}
         #: Range indexes by field name (repro.imdb.ordered_index.OrderedIndex).
@@ -72,6 +80,8 @@ class Table:
                 height=height,
             )
             chunk.placement = self.allocator.place(width, height)
+            if self.ecc is not None:
+                chunk.backup = packed[first : first + count].copy()
             self._write_chunk(chunk, packed[first : first + count])
             self.chunks.append(chunk)
         self.n_tuples += len(packed)
@@ -99,6 +109,79 @@ class Table:
             grid[p.y : p.y + chunk.width, p.x : p.x + chunk.height] = local.T
         else:
             grid[p.y : p.y + chunk.height, p.x : p.x + chunk.width] = local
+        if self.ecc is not None:
+            self.ecc.refresh_region(
+                p.bin_index, p.y, p.y + p.height, p.x, p.x + p.width
+            )
+
+    # -- reliability --------------------------------------------------------------
+    def enable_reliability(self, ecc, recovery=None):
+        """Protect this table with ``ecc`` and snapshot chunk backups.
+
+        The backup is the chunk's packed tuple data — the functional
+        reference copy an uncorrectable-error recovery rebuilds from."""
+        self.ecc = ecc
+        self.recovery = recovery
+        for chunk in self.chunks:
+            if getattr(chunk, "backup", None) is None:
+                chunk.backup = self.chunk_packed(chunk)
+            p = chunk.placement
+            ecc.refresh_region(
+                p.bin_index, p.y, p.y + p.height, p.x, p.x + p.width
+            )
+
+    def chunk_packed(self, chunk) -> np.ndarray:
+        """The chunk's tuples as packed (n_tuples, tuple_words) data —
+        the inverse of :meth:`_write_chunk`."""
+        tw = chunk.tuple_words
+        region = self._chunk_region(chunk)
+        if chunk.layout is IntraLayout.ROW:
+            full = chunk.n_tuples // chunk.slots
+            parts = []
+            if full:
+                parts.append(
+                    region[:full, : chunk.slots * tw].reshape(-1, tw)
+                )
+            rest = chunk.n_tuples - full * chunk.slots
+            if rest:
+                parts.append(region[full, : rest * tw].reshape(-1, tw))
+            packed = np.concatenate(parts) if parts else np.empty(
+                (0, tw), dtype=np.int64
+            )
+        else:
+            parts = []
+            remaining = chunk.n_tuples
+            for group in range(chunk.used_groups()):
+                take = min(chunk.height, remaining)
+                parts.append(region[:take, group * tw : group * tw + tw])
+                remaining -= take
+            packed = np.concatenate(parts) if parts else np.empty(
+                (0, tw), dtype=np.int64
+            )
+        return np.ascontiguousarray(packed, dtype=np.int64)
+
+    def remap_chunk(self, chunk):
+        """Move a chunk off a damaged rectangle onto a fresh placement.
+
+        The old rectangle is retired in the allocator (the bin-packing is
+        effectively re-run with the damaged region removed from play) and
+        the cells are rebuilt from the chunk's backup.  Returns
+        ``(old_placement, new_placement)``."""
+        backup = getattr(chunk, "backup", None)
+        if backup is None:
+            backup = self.chunk_packed(chunk)
+            chunk.backup = backup
+        old = chunk.placement
+        self.allocator.retire(old)
+        chunk.placement = self.allocator.place(chunk.width, chunk.height)
+        self._write_chunk(chunk, backup)
+        if self.ecc is not None:
+            # Decommission the damaged rectangle: recompute its check bits
+            # so later scrub sweeps don't keep re-detecting retired cells.
+            self.ecc.refresh_region(
+                old.bin_index, old.y, old.y + old.height, old.x, old.x + old.width
+            )
+        return old, chunk.placement
 
     # -- chunk navigation ---------------------------------------------------------
     def chunk_of(self, index):
@@ -128,6 +211,32 @@ class Table:
         chunk, local = self.chunk_of(index)
         return chunk.tuple_cells(local, word_start, word_count)
 
+    def _check_chunk(self, chunk):
+        """Demand-read ECC check over one chunk's rectangle.
+
+        Every functional read funnels through here when ECC is on:
+        single-bit faults are repaired in place, and an uncorrectable
+        cell hands the chunk to the recovery callback — one remap
+        rebuilds the whole rectangle from the backup, healing every
+        detected cell at once."""
+        if self.ecc is None:
+            return
+        p = chunk.placement
+        detected = self.ecc.verify_region(
+            p.bin_index, p.y, p.y + p.height, p.x, p.x + p.width
+        )
+        if not detected:
+            return
+        if self.recovery is None:
+            from repro.memsim.ecc import UncorrectableError
+
+            raise UncorrectableError(
+                f"uncorrectable error in table {self.name!r} at subarray "
+                f"{p.bin_index} cell {detected[0]} with no recovery handler"
+            )
+        row, col = detected[0]
+        self.recovery(self, chunk, (p.bin_index, row, col))
+
     # -- functional access (reference results, loading checks) --------------------
     def _chunk_region(self, chunk):
         """Chunk-local (height, width) view of the placed cells."""
@@ -143,6 +252,7 @@ class Table:
         chunk_tw = self.schema.tuple_words
         parts = []
         for chunk in self.chunks:
+            self._check_chunk(chunk)
             region = self._chunk_region(chunk)
             matrix = region[:, offset::chunk_tw]
             if chunk.layout is IntraLayout.ROW:
@@ -157,6 +267,7 @@ class Table:
     def read_tuple(self, index):
         """One logical tuple's field values (functional read)."""
         chunk, local = self.chunk_of(index)
+        self._check_chunk(chunk)
         words = []
         for word in range(self.schema.tuple_words):
             row, col = chunk.local_cell(local, word)
@@ -170,7 +281,13 @@ class Table:
         chunk, local = self.chunk_of(index)
         row, col = chunk.local_cell(local, offset)
         sub, device_row, device_col = chunk.device_cell(row, col)
-        self.physmem.write_cell(sub, device_row, device_col, int(value))
+        if self.ecc is not None:
+            self.ecc.write(sub, device_row, device_col, int(value))
+            backup = getattr(chunk, "backup", None)
+            if backup is not None:
+                backup[local, offset] = int(value)
+        else:
+            self.physmem.write_cell(sub, device_row, device_col, int(value))
 
     @property
     def tuple_words(self):

@@ -17,7 +17,8 @@ positions hold the data bits in order.
 """
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List, Tuple
 
 import numpy as np
 
@@ -32,6 +33,21 @@ _DATA_POSITIONS = [p for p in range(1, CODEWORD_BITS) if p & (p - 1)]
 assert len(_DATA_POSITIONS) == DATA_BITS
 
 _PARITY_POSITIONS = [1 << i for i in range(PARITY_BITS)]
+
+#: ``_PARITY_MASKS[i]`` selects the data bits covered by Hamming parity
+#: ``2**i``: data bit ``j`` is covered when its codeword position has bit
+#: ``i`` set.  These drive the vectorized parity/syndrome kernels below.
+_PARITY_MASKS = np.array(
+    [
+        sum(
+            1 << j
+            for j, position in enumerate(_DATA_POSITIONS)
+            if position & (1 << i)
+        )
+        for i in range(PARITY_BITS)
+    ],
+    dtype=np.uint64,
+)
 
 
 class EccStatus(enum.Enum):
@@ -148,6 +164,65 @@ def unpack(data: int, parity_byte: int) -> int:
     return codeword
 
 
+# -- vectorized kernels --------------------------------------------------------
+
+def _popcount(values: np.ndarray) -> np.ndarray:
+    """Per-element population count of a uint64 array (SWAR)."""
+    v = values.astype(np.uint64, copy=True)
+    v -= (v >> np.uint64(1)) & np.uint64(0x5555555555555555)
+    v = (v & np.uint64(0x3333333333333333)) + (
+        (v >> np.uint64(2)) & np.uint64(0x3333333333333333)
+    )
+    v = (v + (v >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return (v * np.uint64(0x0101010101010101)) >> np.uint64(56)
+
+
+def packed_parity(words: np.ndarray) -> np.ndarray:
+    """Vectorized ``pack_parity(encode(word))`` over an int64/uint64 array.
+
+    Returns one parity byte per word — the whole ECC chip's content for a
+    region in a handful of NumPy passes instead of a Python loop."""
+    u = np.asarray(words).astype(np.uint64)
+    byte = np.zeros(u.shape, dtype=np.uint64)
+    total = _popcount(u)
+    for i in range(PARITY_BITS):
+        parity = _popcount(u & _PARITY_MASKS[i]) & np.uint64(1)
+        byte |= parity << np.uint64(i + 1)
+        total += parity
+    byte |= total & np.uint64(1)  # overall parity makes the codeword even
+    return byte.astype(np.uint8)
+
+
+def classify(words: np.ndarray, parity_bytes: np.ndarray):
+    """Vectorized decode status of stored (word, parity byte) pairs.
+
+    Returns ``(clean, syndrome, overall_even)`` arrays: ``clean`` is True
+    where the stored codeword decodes with no error; non-clean cells are
+    handed to the scalar :func:`decode` for correction/detection."""
+    u = np.asarray(words).astype(np.uint64)
+    pb = np.asarray(parity_bytes).astype(np.uint64) & np.uint64(0xFF)
+    syndrome = np.zeros(u.shape, dtype=np.uint64)
+    for i in range(PARITY_BITS):
+        stored = (pb >> np.uint64(i + 1)) & np.uint64(1)
+        recomputed = _popcount(u & _PARITY_MASKS[i]) & np.uint64(1)
+        syndrome |= (stored ^ recomputed) << np.uint64(i)
+    total_ones = _popcount(u) + _popcount(pb)
+    overall_even = (total_ones & np.uint64(1)) == 0
+    clean = (syndrome == 0) & overall_even
+    return clean, syndrome, overall_even
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one scrub sweep (counts are this sweep's deltas)."""
+
+    cells: int = 0
+    corrected: int = 0
+    detected: int = 0
+    #: (row, col) of every uncorrectable cell found, for recovery.
+    detected_cells: List[Tuple[int, int]] = field(default_factory=list)
+
+
 @dataclass
 class EccStats:
     reads: int = 0
@@ -177,13 +252,11 @@ class EccStore:
     def _checks(self, subarray_index) -> np.ndarray:
         checks = self._check_bits.get(subarray_index)
         if checks is None:
-            g = self.physmem.geometry
-            checks = np.zeros((g.rows, g.cols), dtype=np.int16)
-            # Lazily encode whatever data is already present.
+            # Lazily encode whatever data is already present (vectorized;
+            # the all-zero word encodes to the all-zero codeword, so empty
+            # cells get parity byte 0 for free).
             grid = self.physmem.subarray(subarray_index)
-            for row, col in np.argwhere(grid != 0):
-                word = int(np.uint64(grid[row, col]))
-                checks[row, col] = pack_parity(encode(word))
+            checks = packed_parity(grid).astype(np.int16)
             self._check_bits[subarray_index] = checks
         return checks
 
@@ -225,19 +298,124 @@ class EccStore:
             subarray_index, row, col, np.int64(np.uint64(_extract(flipped)))
         )
 
+    def refresh_region(self, subarray_index, row_start, row_stop, col_start,
+                       col_stop):
+        """Recompute check bits over one rectangle from the current data
+        (after a bulk write that bypassed :meth:`write`)."""
+        grid = self.physmem.subarray(subarray_index)
+        checks = self._checks(subarray_index)
+        checks[row_start:row_stop, col_start:col_stop] = packed_parity(
+            grid[row_start:row_stop, col_start:col_stop]
+        )
+
+    def _repair_cell(self, subarray_index, row, col, word, parity_byte):
+        """Scalar decode of one suspect cell; fixes single-bit faults in
+        place.  Returns the decode result."""
+        result = decode(unpack(word, parity_byte))
+        if result.status is EccStatus.CORRECTED:
+            self.stats.corrected += 1
+            self.physmem.write_cell(
+                subarray_index, row, col, np.int64(np.uint64(result.data))
+            )
+            self._checks(subarray_index)[row, col] = pack_parity(
+                encode(result.data)
+            )
+        elif result.status is EccStatus.DETECTED:
+            self.stats.detected += 1
+        return result
+
+    def sweep(self, subarray_index) -> SweepResult:
+        """Vectorized scrub of one subarray.
+
+        A NumPy pass classifies every cell; only the (few) suspect cells
+        fall back to the scalar decoder.  Single-bit faults are corrected
+        in place; detected (double-bit) cells are left untouched and
+        listed for higher-level recovery.  Counts are this sweep's deltas,
+        not the store's lifetime totals."""
+        result = SweepResult()
+        if (
+            not self.physmem.is_materialized(subarray_index)
+            and subarray_index not in self._check_bits
+        ):
+            return result  # nothing was ever written here; nothing to scrub
+        grid = self.physmem.subarray(subarray_index)
+        checks = self._checks(subarray_index)
+        result.cells = grid.size
+        self.stats.reads += grid.size
+        clean, _syndrome, _even = classify(grid, checks)
+        for row, col in np.argwhere(~clean):
+            row, col = int(row), int(col)
+            word = int(np.uint64(grid[row, col]))
+            parity_byte = int(checks[row, col]) & 0xFF
+            decoded = self._repair_cell(subarray_index, row, col, word,
+                                        parity_byte)
+            if decoded.status is EccStatus.CORRECTED:
+                result.corrected += 1
+            elif decoded.status is EccStatus.DETECTED:
+                result.detected += 1
+                result.detected_cells.append((row, col))
+        return result
+
     def scrub(self, subarray_index):
         """Sweep one subarray, correcting latent single-bit faults.
 
-        Returns ``(corrected, detected)`` counts; detected (double-bit)
-        cells are left untouched for higher-level recovery."""
-        corrected = 0
-        detected = 0
-        g = self.physmem.geometry
-        for row in range(g.rows):
-            for col in range(g.cols):
-                try:
-                    self.read(subarray_index, row, col)
-                except UncorrectableError:
-                    detected += 1
-        corrected = self.stats.corrected
-        return corrected, detected
+        Returns ``(corrected, detected)`` counts *for this sweep* (not the
+        store's lifetime ``stats.corrected``, which keeps accumulating);
+        detected (double-bit) cells are left untouched for higher-level
+        recovery."""
+        result = self.sweep(subarray_index)
+        return result.corrected, result.detected
+
+    def verify_region(self, subarray_index, row_start, row_stop, col_start,
+                      col_stop):
+        """Check one rectangle's cells, fixing single-bit faults in place.
+
+        Returns the ``(row, col)`` list of uncorrectable cells.  This is
+        the demand-read check for a whole chunk rectangle (the functional
+        read path), sized like :meth:`verify_run` but two-dimensional."""
+        grid = self.physmem.subarray(subarray_index)
+        checks = self._checks(subarray_index)
+        words = grid[row_start:row_stop, col_start:col_stop]
+        parity = checks[row_start:row_stop, col_start:col_stop]
+        self.stats.reads += words.size
+        clean, _syndrome, _even = classify(words, parity)
+        detected = []
+        for row_off, col_off in np.argwhere(~clean):
+            row = row_start + int(row_off)
+            col = col_start + int(col_off)
+            word = int(np.uint64(grid[row, col]))
+            parity_byte = int(checks[row, col]) & 0xFF
+            decoded = self._repair_cell(subarray_index, row, col, word,
+                                        parity_byte)
+            if decoded.status is EccStatus.DETECTED:
+                detected.append((row, col))
+        return detected
+
+    def verify_run(self, subarray_index, vertical, fixed, start, count):
+        """Check one device run's cells, fixing single-bit faults in place.
+
+        Returns the ``(row, col)`` list of uncorrectable cells (empty when
+        the run is clean after correction).  This is the read-path
+        counterpart of :meth:`sweep`, sized to the run instead of the
+        whole subarray."""
+        grid = self.physmem.subarray(subarray_index)
+        checks = self._checks(subarray_index)
+        if vertical:
+            words = grid[start : start + count, fixed]
+            parity = checks[start : start + count, fixed]
+        else:
+            words = grid[fixed, start : start + count]
+            parity = checks[fixed, start : start + count]
+        self.stats.reads += count
+        clean, _syndrome, _even = classify(words, parity)
+        detected = []
+        for (j,) in np.argwhere(~clean):
+            j = int(j)
+            row, col = (start + j, fixed) if vertical else (fixed, start + j)
+            word = int(np.uint64(grid[row, col]))
+            parity_byte = int(checks[row, col]) & 0xFF
+            decoded = self._repair_cell(subarray_index, row, col, word,
+                                        parity_byte)
+            if decoded.status is EccStatus.DETECTED:
+                detected.append((row, col))
+        return detected

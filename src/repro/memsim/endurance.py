@@ -74,9 +74,27 @@ class WearTracker:
         }
 
 
+def subarray_index_of(line: WearLine, geometry):
+    """Flat subarray id of a wear line's subarray.
+
+    Must stay the inverse of
+    :meth:`repro.imdb.physmem.PhysicalMemory.subarray_coord` — the fault
+    injector uses it to aim at hot lines, so a divergence would silently
+    wear-weight the wrong physical cells (pinned by tests)."""
+    return (
+        (line.channel * geometry.ranks + line.rank) * geometry.banks
+        + line.bank
+    ) * geometry.subarrays + line.subarray
+
+
 def attach_wear_tracker(memory_system):
     """Attach a fresh tracker to every bank of a memory system; returns
-    the tracker.  Only meaningful for NVM systems (DRAM does not wear)."""
+    the tracker.  Only meaningful for NVM systems (DRAM does not wear).
+
+    The ``(rank, bank)`` split of the controller's flat bank index mirrors
+    :meth:`ChannelController._bank_index` (``rank * banks + bank``) and is
+    pinned against :meth:`PhysicalMemory.subarray_coord` by tests, so wear
+    lines and physical coordinates cannot silently diverge."""
     tracker = WearTracker()
     for channel_index, controller in enumerate(memory_system.controllers):
         for flat, bank in enumerate(controller.banks):

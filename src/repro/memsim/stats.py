@@ -109,6 +109,13 @@ class MemoryStats:
     max_queue_occupancy: int = 0
     #: Deepest any single bank's (read or write) queue ever got.
     max_bank_queue_occupancy: int = 0
+    # -- reliability accounting ----------------------------------------------
+    #: Row-granularity reads issued by the scrub scheduler (not part of
+    #: ``reads``: scrubbing is background traffic, but its cost must show
+    #: up in the same accounting the figures use).
+    scrub_reads: int = 0
+    #: CPU cycles spent scrubbing (activation + CAS + burst per swept row).
+    scrub_cycles: int = 0
     #: End-to-end request latency distribution (completion - arrival).
     latency_hist: LatencyHistogram = field(default_factory=LatencyHistogram)
 

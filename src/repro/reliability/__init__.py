@@ -1,0 +1,29 @@
+"""Reliability subsystem: fault injection, scrubbing, and recovery.
+
+Turns the ECC (:mod:`repro.memsim.ecc`) and endurance
+(:mod:`repro.memsim.endurance`) models into an end-to-end pipeline:
+
+* :class:`~repro.reliability.faults.FaultInjector` plants seeded single-
+  and double-bit faults into ECC-protected cells (uniform,
+  hot-line-weighted, or burst campaigns);
+* :class:`~repro.reliability.scrub.ScrubScheduler` sweeps materialized
+  subarrays on a configurable cycle budget, charging scrub reads to
+  :class:`~repro.memsim.stats.MemoryStats`;
+* :mod:`repro.reliability.recovery` carries the degradation events and
+  run-translation helpers the IMDB layer uses to remap a chunk whose
+  cells hit an uncorrectable error.
+"""
+
+from repro.reliability.faults import CampaignSpec, FaultInjector, FaultRecord
+from repro.reliability.recovery import DegradationEvent, translate_run
+from repro.reliability.scrub import ScrubScheduler, SweepReport
+
+__all__ = [
+    "CampaignSpec",
+    "DegradationEvent",
+    "FaultInjector",
+    "FaultRecord",
+    "ScrubScheduler",
+    "SweepReport",
+    "translate_run",
+]

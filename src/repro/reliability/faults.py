@@ -1,0 +1,166 @@
+"""Seeded fault-injection campaigns against an :class:`EccStore`.
+
+A campaign plants bit flips into cells the database actually occupies, so
+every fault is observable by queries and recoverable by chunk remapping.
+Three targeting modes:
+
+* ``uniform`` — cells drawn uniformly over the occupied chunk rectangles
+  (area-weighted);
+* ``hotline`` — cells drawn from the most-written physical lines reported
+  by :meth:`WearTracker.hottest` (worn cells fail first on real NVM);
+* ``burst`` — a run of consecutive cells along one physical row (a word-
+  line failure), each cell taking one fault.
+
+Every faulty cell is distinct, so the scrub accounting identity
+``injected == corrected + detected`` holds exactly: a single-bit fault is
+always corrected, a double-bit fault always detected.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.memsim.ecc import CODEWORD_BITS
+from repro.memsim.endurance import subarray_index_of
+from repro.orientation import Orientation
+
+MODES = ("uniform", "hotline", "burst")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One fault-injection campaign."""
+
+    n_faults: int
+    mode: str = "uniform"
+    #: Fraction of faulty cells taking two bit flips (uncorrectable).
+    double_fraction: float = 0.25
+    seed: int = 0
+    #: Cells per burst in ``burst`` mode.
+    burst_span: int = 4
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"unknown fault mode {self.mode!r}; choose from {MODES}"
+            )
+        if not 0.0 <= self.double_fraction <= 1.0:
+            raise ConfigurationError("double_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One faulty cell and the codeword bits flipped in it."""
+
+    subarray: int
+    row: int
+    col: int
+    bits: Tuple[int, ...]
+
+    @property
+    def double(self):
+        return len(self.bits) >= 2
+
+
+def occupied_rectangles(database):
+    """Device-space rectangles covered by the database's chunks, as
+    ``(subarray, x, y, width, height)`` — the injector's target space."""
+    rects = []
+    for table in database.tables.values():
+        for chunk in table.chunks:
+            p = chunk.placement
+            rects.append((p.bin_index, p.x, p.y, p.width, p.height))
+    return rects
+
+
+class FaultInjector:
+    """Plants seeded faults into ECC-protected cells of occupied chunks."""
+
+    def __init__(self, store, rectangles, geometry=None, wear_tracker=None):
+        if not rectangles:
+            raise ConfigurationError("no occupied rectangles to inject into")
+        self.store = store
+        self.rectangles = list(rectangles)
+        self.geometry = geometry or store.physmem.geometry
+        self.wear_tracker = wear_tracker
+        self.records: List[FaultRecord] = []
+
+    # -- cell selection ----------------------------------------------------
+    def _uniform_cell(self, rng):
+        weights = [w * h for _s, _x, _y, w, h in self.rectangles]
+        sub, x, y, w, h = rng.choices(self.rectangles, weights=weights)[0]
+        return sub, y + rng.randrange(h), x + rng.randrange(w)
+
+    def _hot_cells(self, rng, n):
+        """Cells on the hottest wear lines, clipped to occupied rects."""
+        cells = []
+        if self.wear_tracker is None:
+            return cells
+        for line, _count in self.wear_tracker.hottest(4 * n):
+            sub = subarray_index_of(line, self.geometry)
+            for rect_sub, x, y, w, h in self.rectangles:
+                if rect_sub != sub:
+                    continue
+                if line.kind is Orientation.ROW:
+                    if y <= line.index < y + h:
+                        cells.append((sub, line.index, x + rng.randrange(w)))
+                else:
+                    if x <= line.index < x + w:
+                        cells.append((sub, y + rng.randrange(h), line.index))
+        return cells
+
+    def _burst_cells(self, rng, span):
+        """``span`` consecutive cells along one row of one rectangle."""
+        sub, x, y, w, h = rng.choice(self.rectangles)
+        span = min(span, w)
+        row = y + rng.randrange(h)
+        col = x + rng.randrange(w - span + 1)
+        return [(sub, row, col + j) for j in range(span)]
+
+    # -- injection ----------------------------------------------------------
+    def _inject_cell(self, rng, cell, double):
+        sub, row, col = cell
+        first = rng.randrange(CODEWORD_BITS)
+        bits = (first,)
+        if double:
+            second = rng.randrange(CODEWORD_BITS - 1)
+            if second >= first:
+                second += 1
+            bits = (first, second)
+        for bit in bits:
+            self.store.inject_fault(sub, row, col, bit)
+        record = FaultRecord(sub, row, col, bits)
+        self.records.append(record)
+        return record
+
+    def run(self, spec: CampaignSpec) -> List[FaultRecord]:
+        """Execute one campaign; returns the faults planted (each cell
+        distinct, so ECC outcomes are exactly predictable)."""
+        rng = random.Random(spec.seed)
+        taken = {(r.subarray, r.row, r.col) for r in self.records}
+        planted = []
+        pending = []  # pre-picked cells (hotline / burst refills)
+        attempts = 0
+        while len(planted) < spec.n_faults:
+            attempts += 1
+            if attempts > 1000 * max(1, spec.n_faults):
+                raise ConfigurationError(
+                    "fault campaign could not find enough distinct cells"
+                )
+            if not pending:
+                if spec.mode == "hotline":
+                    pending = self._hot_cells(
+                        rng, spec.n_faults - len(planted)
+                    )
+                elif spec.mode == "burst":
+                    pending = self._burst_cells(rng, spec.burst_span)
+                if not pending:  # uniform, or hotline with no wear yet
+                    pending = [self._uniform_cell(rng)]
+            cell = pending.pop(0)
+            if cell in taken:
+                continue
+            taken.add(cell)
+            double = rng.random() < spec.double_fraction
+            planted.append(self._inject_cell(rng, cell, double))
+        return planted

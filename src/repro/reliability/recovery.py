@@ -1,0 +1,58 @@
+"""Uncorrectable-error recovery glue for the IMDB layer.
+
+When a protected read hits a double-bit error that scrubbing cannot fix,
+the database retires the damaged region and remaps the victim chunk to a
+fresh subarray rectangle (re-running bin-packing), rebuilding the cells
+from the chunk's functional reference copy.  This module holds the
+pieces that are pure bookkeeping: the degradation event surfaced in
+:class:`~repro.cpu.machine.RunResult`, and the coordinate translation
+that re-aims an in-flight device run at the chunk's new placement.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.imdb.binpack import Placement
+from repro.imdb.chunks import Run
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One chunk remap forced by an uncorrectable error."""
+
+    table: str
+    cell: Tuple[int, int, int]  # (subarray, row, col) that failed
+    old_placement: Placement
+    new_placement: Placement
+    reason: str = "uncorrectable"
+
+
+def translate_run(run: Run, old: Placement, new: Placement) -> Run:
+    """Re-aim a device run at a chunk's new placement.
+
+    The run's cells are fixed chunk-local coordinates; only the
+    placement (and possibly its rotation) changed, so the run maps to
+    the same tuples at new device coordinates.  A rotation flip swaps
+    the run's direction — free on RC-NVM, where both directions are
+    first-class."""
+    row0, col0 = (run.start, run.fixed) if run.vertical else (run.fixed, run.start)
+    if old.rotated:
+        local_row, local_col = col0 - old.x, row0 - old.y
+    else:
+        local_row, local_col = row0 - old.y, col0 - old.x
+    #: Whether the run advances along chunk-local rows.
+    chunk_vertical = run.vertical != old.rotated
+    if new.rotated:
+        new_row0, new_col0 = new.y + local_col, new.x + local_row
+    else:
+        new_row0, new_col0 = new.y + local_row, new.x + local_col
+    vertical = chunk_vertical != new.rotated
+    return Run(
+        subarray=new.bin_index,
+        vertical=vertical,
+        fixed=new_col0 if vertical else new_row0,
+        start=new_row0 if vertical else new_col0,
+        count=run.count,
+        first_tuple=run.first_tuple,
+        tuple_stride=run.tuple_stride,
+    )

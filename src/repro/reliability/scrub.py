@@ -1,0 +1,120 @@
+"""Background scrub scheduling over ECC-protected memory.
+
+A :class:`ScrubScheduler` sweeps the *materialized* subarrays of an
+:class:`~repro.memsim.ecc.EccStore` (lazily allocated subarrays that were
+never written hold no data and are skipped), correcting latent
+single-bit faults before a second strike makes them uncorrectable.
+
+Scrubbing is not free: every swept row costs one activation + CAS +
+burst, and those cycles are charged to the owning channel's
+:class:`~repro.memsim.stats.MemoryStats` (``scrub_reads`` /
+``scrub_cycles``) through :meth:`MemorySystem.charge_scrub`, so
+reliability overhead appears in the same accounting the figures use.  A
+``cycle_budget`` caps how much is swept per call; the scheduler resumes
+where it stopped, round-robin over subarrays.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class SweepReport:
+    """Aggregate outcome of one :meth:`ScrubScheduler.sweep` call."""
+
+    swept_subarrays: int = 0
+    swept_cells: int = 0
+    corrected: int = 0
+    detected: int = 0
+    #: (subarray, row, col) of every uncorrectable cell, for recovery.
+    detected_cells: List[Tuple[int, int, int]] = field(default_factory=list)
+    scrub_reads: int = 0
+    scrub_cycles: int = 0
+    #: False when a cycle budget stopped the sweep before a full pass.
+    complete: bool = True
+
+
+class ScrubScheduler:
+    """Sweeps subarrays of one memory system on a cycle budget."""
+
+    def __init__(self, store, memory, cycle_budget=None):
+        self.store = store
+        self.memory = memory
+        #: Default per-sweep cycle cap (None = sweep everything).
+        self.cycle_budget = cycle_budget
+        #: First subarray id the next sweep will visit.
+        self._next = 0
+        # Lifetime totals, for reporting across budgeted partial sweeps.
+        self.total = SweepReport()
+
+    @property
+    def row_cost_cycles(self):
+        """CPU cycles to scrub one row: activate, CAS, one burst out."""
+        timing = self.memory.timing
+        return timing.rcd_cpu + timing.cas_cpu + timing.burst_cpu
+
+    def _charge(self, subarray_index, rows):
+        channel = self.store.physmem.subarray_coord(subarray_index)[0]
+        cycles = rows * self.row_cost_cycles
+        self.memory.charge_scrub(channel, rows, cycles)
+        return cycles
+
+    def sweep_subarray(self, subarray_index):
+        """Scrub one subarray and charge its cost; returns the
+        :class:`~repro.memsim.ecc.SweepResult`."""
+        result = self.store.sweep(subarray_index)
+        if result.cells:
+            rows = -(-result.cells // self.store.physmem.geometry.cols)
+            cycles = self._charge(subarray_index, rows)
+            self.total.swept_subarrays += 1
+            self.total.swept_cells += result.cells
+            self.total.corrected += result.corrected
+            self.total.detected += result.detected
+            self.total.scrub_reads += rows
+            self.total.scrub_cycles += cycles
+        return result
+
+    def sweep(self, cycle_budget=None) -> SweepReport:
+        """Sweep materialized subarrays, resuming after the last one.
+
+        With a ``cycle_budget`` (argument, else the scheduler's default)
+        the sweep stops once the budget is spent — at least one subarray
+        is always swept — and the next call picks up where it stopped;
+        without one, every materialized subarray is swept."""
+        budget = cycle_budget if cycle_budget is not None else self.cycle_budget
+        report = SweepReport()
+        indexes = self.store.physmem.materialized_indexes()
+        if not indexes:
+            return report
+        # Rotate so the sweep resumes at the cursor.
+        start = next(
+            (i for i, sub in enumerate(indexes) if sub >= self._next), 0
+        )
+        ordered = indexes[start:] + indexes[:start]
+        for position, sub in enumerate(ordered):
+            if budget is not None and position and report.scrub_cycles >= budget:
+                report.complete = False
+                self._next = sub
+                break
+            result = self.store.sweep(sub)
+            rows = -(-result.cells // self.store.physmem.geometry.cols)
+            cycles = self._charge(sub, rows) if rows else 0
+            report.swept_subarrays += 1
+            report.swept_cells += result.cells
+            report.corrected += result.corrected
+            report.detected += result.detected
+            report.detected_cells.extend(
+                (sub, row, col) for row, col in result.detected_cells
+            )
+            report.scrub_reads += rows
+            report.scrub_cycles += cycles
+        else:
+            self._next = 0
+        self.total.swept_subarrays += report.swept_subarrays
+        self.total.swept_cells += report.swept_cells
+        self.total.corrected += report.corrected
+        self.total.detected += report.detected
+        self.total.detected_cells.extend(report.detected_cells)
+        self.total.scrub_reads += report.scrub_reads
+        self.total.scrub_cycles += report.scrub_cycles
+        return report

@@ -103,3 +103,118 @@ class TestEccStore:
         store.write(0, 0, 0, np.int64(-1))
         store.inject_fault(0, 0, 0, bit=33)
         assert store.read(0, 0, 0) == -1
+
+
+class TestExhaustiveSecded:
+    """Satellite coverage: every flip pattern behaves as SECDED promises."""
+
+    @pytest.mark.parametrize("data", [0, 1, (1 << 64) - 1, 0x0123456789ABCDEF])
+    def test_all_72_single_flips_corrected(self, data):
+        codeword = ecc.encode(data)
+        for position in range(ecc.CODEWORD_BITS):
+            result = ecc.decode(ecc.flip_bit(codeword, position))
+            assert result.status is ecc.EccStatus.CORRECTED
+            assert result.data == data
+            assert result.corrected_position == position
+
+    @given(data=words, first=positions, offset=st.integers(1, ecc.CODEWORD_BITS - 1))
+    @settings(max_examples=300)
+    def test_sampled_double_flips_detected(self, data, first, offset):
+        second = (first + offset) % ecc.CODEWORD_BITS
+        codeword = ecc.encode(data)
+        corrupted = ecc.flip_bit(ecc.flip_bit(codeword, first), second)
+        assert ecc.decode(corrupted).status is ecc.EccStatus.DETECTED
+
+    @given(data=words)
+    @settings(max_examples=200)
+    def test_pack_unpack_roundtrip(self, data):
+        codeword = ecc.encode(data)
+        parity = ecc.pack_parity(codeword)
+        assert 0 <= parity < 256
+        assert ecc.unpack(data, parity) == codeword
+
+
+class TestVectorizedKernels:
+    """The NumPy scrub kernels must agree with the scalar code."""
+
+    @given(data=st.lists(words, min_size=1, max_size=32))
+    @settings(max_examples=50)
+    def test_packed_parity_matches_scalar(self, data):
+        grid = np.array(data, dtype=np.uint64).astype(np.int64).reshape(-1, 1)
+        expected = [ecc.pack_parity(ecc.encode(word)) for word in data]
+        assert ecc.packed_parity(grid).tolist() == [[e] for e in expected]
+
+    @given(data=words, position=positions)
+    @settings(max_examples=100)
+    def test_classify_flags_exactly_the_corrupted_cell(self, data, position):
+        clean_word = np.array([[np.uint64(data).astype(np.int64)]], dtype=np.int64)
+        parity = ecc.packed_parity(clean_word)
+        clean, _syndrome, _even = ecc.classify(clean_word, parity)
+        assert clean.all()
+        # Rebuild the corrupted (data, parity) pair the store would hold.
+        corrupted = ecc.flip_bit(ecc.encode(data), position)
+        bad_data = np.array([[np.int64(np.uint64(_data_of(corrupted)))]])
+        bad_parity = np.array([[ecc.pack_parity(corrupted)]], dtype=np.int16)
+        clean, _syndrome, _even = ecc.classify(bad_data, bad_parity)
+        assert not clean.any()
+
+
+def _data_of(codeword):
+    """Extract the 64 data bits of a codeword (test-local helper)."""
+    data = 0
+    for j, position in enumerate(ecc._DATA_POSITIONS):
+        data |= ((codeword >> position) & 1) << j
+    return data
+
+
+class TestScrubDeltas:
+    """Regression: scrub must report per-sweep deltas, not lifetime totals."""
+
+    @pytest.fixture
+    def store(self):
+        return ecc.EccStore(PhysicalMemory(SMALL_RCNVM_GEOMETRY))
+
+    def test_scrub_reports_sweep_delta_not_lifetime(self, store):
+        store.write(0, 1, 1, 111)
+        store.write(0, 2, 2, 222)
+        store.inject_fault(0, 1, 1, bit=5)
+        store.inject_fault(0, 2, 2, bit=50)
+        corrected, detected = store.scrub(0)
+        assert (corrected, detected) == (2, 0)
+        # The bug this pins down: a second sweep with no new faults used
+        # to report the lifetime stats.corrected again instead of 0.
+        corrected, detected = store.scrub(0)
+        assert (corrected, detected) == (0, 0)
+        assert store.stats.corrected == 2  # lifetime keeps accumulating
+
+    def test_scrub_counts_detected_without_repairing(self, store):
+        store.write(0, 4, 4, 99)
+        store.inject_fault(0, 4, 4, bit=3)
+        store.inject_fault(0, 4, 4, bit=60)
+        corrected, detected = store.scrub(0)
+        assert (corrected, detected) == (0, 1)
+        # Still detected on the next sweep: scrub cannot fix doubles.
+        assert store.scrub(0) == (0, 1)
+
+    def test_sweep_lists_detected_cells(self, store):
+        store.write(0, 6, 7, 1)
+        store.inject_fault(0, 6, 7, bit=1)
+        store.inject_fault(0, 6, 7, bit=2)
+        result = store.sweep(0)
+        assert result.detected_cells == [(6, 7)]
+        assert result.cells == store.physmem.geometry.rows * store.physmem.geometry.cols
+
+    def test_sweep_skips_unmaterialized_subarrays(self, store):
+        result = store.sweep(3)
+        assert result.cells == 0 and not store.physmem.is_materialized(3)
+
+    def test_verify_run_corrects_singles_and_lists_doubles(self, store):
+        for row in range(8):
+            store.write(0, row, 5, row * 10)
+        store.inject_fault(0, 2, 5, bit=9)        # single: corrected
+        store.inject_fault(0, 6, 5, bit=9)        # double: detected
+        store.inject_fault(0, 6, 5, bit=44)
+        detected = store.verify_run(0, vertical=True, fixed=5, start=0, count=8)
+        assert detected == [(6, 5)]
+        assert store.read(0, 2, 5) == 20
+        assert store.stats.corrected == 1

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.core.addressing import Coordinate, Orientation
-from repro.memsim.endurance import WearLine, WearTracker, attach_wear_tracker
+from repro.imdb.physmem import PhysicalMemory
+from repro.memsim.endurance import (
+    WearLine,
+    WearTracker,
+    attach_wear_tracker,
+    subarray_index_of,
+)
 from repro.memsim.system import make_small_rcnvm
 
 
@@ -67,6 +73,35 @@ class TestAttachment:
         memory.flush_buffers()
         line = tracker.hottest(1)[0][0]
         assert line.kind is Orientation.COLUMN and line.index == 9
+
+    def test_wear_identity_pins_physmem_coordinates(self):
+        """The (rank, bank) split of ``attach_wear_tracker`` must stay the
+        inverse of ``PhysicalMemory.subarray_coord`` — a divergence would
+        silently aim the fault injector at the wrong physical cells."""
+        memory = make_small_rcnvm()
+        tracker = attach_wear_tracker(memory)
+        physmem = PhysicalMemory(memory.geometry)
+        g = memory.geometry
+        now = 0
+        for channel in range(g.channels):
+            for rank in range(g.ranks):
+                for bank in range(g.banks):
+                    sub, row = 1 % g.subarrays, 3
+                    memory.access(
+                        Coordinate(channel, rank, bank, sub, row, 0),
+                        Orientation.ROW, True, now,
+                    )
+                    now += 100_000
+        memory.flush_buffers()
+        assert tracker.lines_touched == g.channels * g.ranks * g.banks
+        for line in tracker.counts:
+            # The wear line round-trips through the flat subarray id back
+            # to exactly the coordinates the request carried.
+            flat = subarray_index_of(line, g)
+            assert physmem.subarray_coord(flat) == (
+                line.channel, line.rank, line.bank, line.subarray
+            )
+            assert (line.kind, line.index) == (Orientation.ROW, 3)
 
     def test_hot_line_imbalance_visible(self):
         memory = make_small_rcnvm()

@@ -115,3 +115,51 @@ class TestCli:
         assert main(["fig4", "table2"]) == 0
         out = capsys.readouterr().out
         assert "Figure 4" in out and "Table 2" in out
+
+    def test_energy_populates_shared_measurement_cache(self, capsys, monkeypatch):
+        """Regression: 'energy' used to leave ``_SQL_MEASUREMENTS`` empty,
+        so a later SQL figure re-simulated the whole suite."""
+        from repro.harness import cli
+
+        monkeypatch.setattr(cli, "_SQL_MEASUREMENTS", [None])
+        calls = []
+        original = figures.run_figures_18_21
+
+        def counting(**kwargs):
+            calls.append(kwargs)
+            kwargs["qids"] = ("Q1",)  # keep the test cheap
+            return original(**kwargs)
+
+        monkeypatch.setattr(figures, "run_figures_18_21", counting)
+        assert cli.main(["energy", "fig18", "--small", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Energy" in out and "Figure 18" in out
+        assert len(calls) == 1  # fig18 reused the energy run's measurements
+        # A separate invocation still reuses the in-process cache.
+        assert cli.main(["fig19", "--small", "--scale", "0.02"]) == 0
+        assert len(calls) == 1
+
+    def test_faults_cli_renders_table(self, capsys, monkeypatch):
+        from repro.harness import cli, reliability
+
+        outcome = reliability.FaultsOutcome(
+            system="RC-NVM", injected=4, singles=3, doubles=1, corrected=3,
+            detected=1, recovered=1, scrub_reads=100, scrub_cycles=5000,
+            resweep_corrected=0, resweep_detected=0, retired_cells=64,
+            wear_imbalance=1.2, queries_verified=4,
+        )
+        seen = {}
+
+        def fake_run_faults(**kwargs):
+            seen.update(kwargs)
+            return [outcome]
+
+        monkeypatch.setattr(reliability, "run_faults", fake_run_faults)
+        assert cli.main(
+            ["faults", "--fault-rate", "0.01", "--seed", "11",
+             "--fault-mode", "hotline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fault injection" in out and "RC-NVM" in out
+        assert seen["seed"] == 11 and seen["mode"] == "hotline"
+        assert seen["fault_rate"] == 0.01

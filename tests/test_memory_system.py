@@ -129,6 +129,8 @@ SNAPSHOT_GOLDEN_KEYS = frozenset({
     "write_drain_episodes", "starvation_cap_hits", "max_bypass",
     "queue_occupancy_sum", "queue_occupancy_samples",
     "max_queue_occupancy", "max_bank_queue_occupancy", "latency_hist",
+    # reliability (background scrub traffic, repro.reliability.scrub)
+    "scrub_reads", "scrub_cycles",
     # derived
     "accesses", "buffer_miss_rate", "average_latency",
     "avg_queue_occupancy", "latency_p50", "latency_p95", "latency_p99",
