@@ -236,6 +236,60 @@ class CacheHierarchy:
         updates = bin(line.crossing & word_mask).count("1")
         return self.synonym.charge_write_updates(updates)
 
+    # -- conformance ---------------------------------------------------------
+    def check_invariants(self):
+        """Structural-consistency violations, as strings (empty = clean).
+
+        Audited by the fuzz harness after every simulated statement:
+
+        * all dirty LLC victims have been drained to memory;
+        * the per-orientation residency counts (``_counts``) match the
+          actual LLC contents — these gate crossing checks, so a drift
+          would silently skip synonym resolution;
+        * crossing bits are symmetric and live: a set bit always names a
+          resident opposite-orientation line whose mirrored bit is set,
+          i.e. every synonym pair the directory tracks maps to one datum.
+        """
+        problems = []
+        if self.pending_writebacks:
+            problems.append(
+                f"{len(self.pending_writebacks)} dirty LLC victims never "
+                "drained to memory"
+            )
+        if self.synonym is None:
+            return problems
+        counts = [0, 0, 0]
+        for line in self.llc.resident_lines():
+            tag = line.key >> SPACE_SHIFT
+            if tag != _GATHER_TAG:
+                counts[tag] += 1
+        for tag, name in ((0, "row"), (1, "column")):
+            if counts[tag] != self._counts[tag]:
+                problems.append(
+                    f"LLC {name}-orientation count drifted: tracked "
+                    f"{self._counts[tag]}, resident {counts[tag]}"
+                )
+        for line in self.llc.resident_lines():
+            if not line.crossing or (line.key >> SPACE_SHIFT) == _GATHER_TAG:
+                continue
+            for cross_key, word_self, word_other in self.synonym.crossing_keys(
+                line.key
+            ):
+                if not line.has_crossing(word_self):
+                    continue
+                other = self.llc.probe(cross_key)
+                if other is None:
+                    problems.append(
+                        f"crossing bit {word_self} of line {line.key:#x} "
+                        "names an absent synonym line"
+                    )
+                elif not other.has_crossing(word_other):
+                    problems.append(
+                        f"asymmetric crossing bits between {line.key:#x} "
+                        f"and {cross_key:#x}"
+                    )
+        return problems
+
     # -- statistics ----------------------------------------------------------
     @property
     def llc_misses(self):

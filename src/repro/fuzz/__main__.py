@@ -1,0 +1,7 @@
+"""``python -m repro.fuzz`` — direct entry to the fuzz CLI."""
+
+import sys
+
+from repro.fuzz.cli import main
+
+sys.exit(main())

@@ -1,0 +1,83 @@
+"""``fuzz`` subcommand: differential fuzzing from the command line.
+
+Reached through the main harness entry point or directly::
+
+    python -m repro.harness.cli fuzz --seed 0 --iterations 200
+    python -m repro.fuzz --smoke
+    python -m repro.fuzz --corpus tests/corpus
+
+Exit status is 0 when every case (or corpus file) passes all three
+oracles and the trace invariants, 1 otherwise.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.fuzz.oracle import CONFIGS
+from repro.fuzz.runner import replay_corpus, run_fuzz
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="rcnvm-experiments fuzz",
+        description=(
+            "Differential SQL fuzzing: random statements through every "
+            "simulated system config, cross-checked against the reference "
+            "engine and sqlite, with trace-invariant auditing."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default 0)")
+    parser.add_argument("--iterations", type=int, default=100,
+                        help="number of generated cases (default 100)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="bounded CI smoke run (caps iterations at 25)")
+    parser.add_argument("--corpus", metavar="DIR", default=None,
+                        help="replay every .json repro in DIR instead of "
+                             "generating new cases")
+    parser.add_argument("--save", metavar="DIR", default=None,
+                        help="write shrunk failing cases into DIR "
+                             "(default: no files written)")
+    parser.add_argument("--configs", nargs="*", default=None,
+                        metavar="KEY", choices=sorted(CONFIGS),
+                        help=f"system configs to run "
+                             f"(default all: {', '.join(sorted(CONFIGS))})")
+    parser.add_argument("--max-failures", type=int, default=3,
+                        help="stop after this many failing cases (default 3)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report raw failing cases without minimizing")
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    if args.corpus:
+        failures = replay_corpus(args.corpus, config_keys=args.configs)
+        elapsed = time.time() - start
+        if failures:
+            for name, problems in failures.items():
+                print(f"FAIL {name}")
+                for problem in problems[:10]:
+                    print(f"  {problem}")
+            print(f"corpus replay: {len(failures)} failing files "
+                  f"({elapsed:.1f}s)")
+            return 1
+        print(f"corpus replay: all files pass ({elapsed:.1f}s)")
+        return 0
+
+    iterations = min(args.iterations, 25) if args.smoke else args.iterations
+    report = run_fuzz(
+        seed=args.seed,
+        iterations=iterations,
+        config_keys=args.configs,
+        save_dir=args.save,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+        progress=print,
+    )
+    print(report.summary())
+    print(f"[{report.iterations} cases in {time.time() - start:.1f}s]")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,494 @@
+"""Seeded grammar-based generator for the supported SQL dialect.
+
+Cases are plain JSON-serializable structures so that a failing case can
+be shrunk, saved to ``tests/corpus/``, and replayed bit-for-bit.  A
+:class:`FuzzCase` bundles table specs (schema, data, indexes) with a
+list of statement dicts; :func:`render_sql` turns a statement dict back
+into dialect SQL plus a parameter binding, and the oracle owns the
+sqlite translation.
+
+Statement dict shapes::
+
+    {"kind": "select", "table": t, "items": "*" | [f, ...],
+     "agg": None | [func, field],
+     "where": [{"field": f, "op": op, "value": int, "param": None | name}],
+     "order_by": None | [field, descending], "limit": None | int,
+     "expect_error": bool}
+    {"kind": "join", "left": t, "right": u, "on": [lf, rf],
+     "extra": [[lf, op, rf], ...], "items": [[t, f], ...],
+     "expect_error": bool}
+    {"kind": "update", "table": t, "set": [[f, value, None | param]],
+     "where": [...], "expect_error": bool}
+    {"kind": "raw", "sql": "...", "expect_error": True}
+
+The generator only emits statements the planner accepts (its documented
+restrictions: no ORDER BY/LIMIT on joins or aggregates, no WHERE on
+wide-field aggregates, ORDER BY columns projected and narrow, no UPDATE
+of indexed fields, joins with exactly one equality key and qualified
+outputs) — except for statements explicitly flagged ``expect_error``,
+which every engine must reject with ``SqlError``.
+"""
+
+import random
+from dataclasses import dataclass, field as dc_field
+
+OPS = ("=", "!=", "<", "<=", ">", ">=")
+AGG_FUNCS = ("SUM", "AVG", "COUNT", "MIN", "MAX")
+#: Parameter names; disjoint from generated field names (``f1``..).
+PARAM_NAMES = ("x", "y", "z", "u", "v", "w")
+
+
+@dataclass
+class TableSpec:
+    """One generated table: schema, data, and index selections."""
+
+    name: str
+    fields: list  # [[name, nbytes], ...]
+    rows: list  # rows of ints; wide values are lists of words
+    indexes: list = dc_field(default_factory=list)
+    ordered_indexes: list = dc_field(default_factory=list)
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "fields": [list(f) for f in self.fields],
+            "rows": [
+                [list(v) if isinstance(v, (list, tuple)) else v for v in row]
+                for row in self.rows
+            ],
+            "indexes": list(self.indexes),
+            "ordered_indexes": list(self.ordered_indexes),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            name=data["name"],
+            fields=[list(f) for f in data["fields"]],
+            rows=[list(row) for row in data["rows"]],
+            indexes=list(data.get("indexes", ())),
+            ordered_indexes=list(data.get("ordered_indexes", ())),
+        )
+
+    def field_words(self, name):
+        for fname, nbytes in self.fields:
+            if fname == name:
+                return nbytes // 8
+        raise KeyError(name)
+
+    def narrow_fields(self):
+        return [f for f, nbytes in self.fields if nbytes == 8]
+
+    def wide_fields(self):
+        return [f for f, nbytes in self.fields if nbytes > 8]
+
+
+@dataclass
+class FuzzCase:
+    """A full differential-testing case: tables plus a statement list."""
+
+    seed: int
+    tables: list
+    statements: list
+    note: str = ""
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "note": self.note,
+            "tables": [t.to_dict() for t in self.tables],
+            "statements": [dict(s) for s in self.statements],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            seed=data.get("seed", 0),
+            note=data.get("note", ""),
+            tables=[TableSpec.from_dict(t) for t in data["tables"]],
+            statements=[dict(s) for s in data["statements"]],
+        )
+
+    def table(self, name):
+        for spec in self.tables:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+
+# -- rendering -----------------------------------------------------------------
+def _clause_sql(clause, params):
+    if clause.get("param"):
+        params[clause["param"]] = int(clause["value"])
+        rhs = clause["param"]
+    else:
+        rhs = str(int(clause["value"]))
+    return f"{clause['field']} {clause['op']} {rhs}"
+
+
+def render_sql(stmt):
+    """Statement dict -> ``(sql, params)`` in the supported dialect."""
+    params = {}
+    kind = stmt["kind"]
+    if kind == "raw":
+        return stmt["sql"], dict(stmt.get("params", {}))
+    if kind == "select":
+        if stmt.get("agg"):
+            func, fname = stmt["agg"]
+            items = f"{func}({fname})"
+        elif stmt["items"] == "*":
+            items = "*"
+        else:
+            items = ", ".join(stmt["items"])
+        sql = f"SELECT {items} FROM {stmt['table']}"
+        where = [_clause_sql(c, params) for c in stmt.get("where", ())]
+        if where:
+            sql += " WHERE " + " AND ".join(where)
+        if stmt.get("order_by"):
+            fname, desc = stmt["order_by"]
+            sql += f" ORDER BY {fname} {'DESC' if desc else 'ASC'}"
+        if stmt.get("limit") is not None:
+            sql += f" LIMIT {int(stmt['limit'])}"
+        return sql, params
+    if kind == "join":
+        items = ", ".join(f"{t}.{f}" for t, f in stmt["items"])
+        lf, rf = stmt["on"]
+        conds = [f"{stmt['left']}.{lf} = {stmt['right']}.{rf}"]
+        conds += [
+            f"{stmt['left']}.{l} {op} {stmt['right']}.{r}"
+            for l, op, r in stmt.get("extra", ())
+        ]
+        sql = (
+            f"SELECT {items} FROM {stmt['left']}, {stmt['right']} "
+            f"WHERE {' AND '.join(conds)}"
+        )
+        return sql, params
+    if kind == "update":
+        sets = []
+        for fname, value, param in stmt["set"]:
+            if param:
+                params[param] = int(value)
+                sets.append(f"{fname} = {param}")
+            else:
+                sets.append(f"{fname} = {int(value)}")
+        sql = f"UPDATE {stmt['table']} SET {', '.join(sets)}"
+        where = [_clause_sql(c, params) for c in stmt.get("where", ())]
+        if where:
+            sql += " WHERE " + " AND ".join(where)
+        return sql, params
+    raise ValueError(f"unknown statement kind {kind!r}")
+
+
+def statement_fields(stmt, case):
+    """``(table, field)`` pairs a statement touches (for sqlite gating)."""
+    pairs = set()
+    kind = stmt["kind"]
+    if kind == "select":
+        t = stmt["table"]
+        if stmt.get("agg"):
+            pairs.add((t, stmt["agg"][1]))
+        elif stmt["items"] == "*":
+            pairs.update((t, f) for f, _ in case.table(t).fields)
+        else:
+            pairs.update((t, f) for f in stmt["items"])
+        pairs.update((t, c["field"]) for c in stmt.get("where", ()))
+        if stmt.get("order_by"):
+            pairs.add((t, stmt["order_by"][0]))
+    elif kind == "join":
+        pairs.add((stmt["left"], stmt["on"][0]))
+        pairs.add((stmt["right"], stmt["on"][1]))
+        pairs.update((t, f) for t, f in stmt["items"])
+        for l, _op, r in stmt.get("extra", ()):
+            pairs.add((stmt["left"], l))
+            pairs.add((stmt["right"], r))
+    elif kind == "update":
+        t = stmt["table"]
+        pairs.update((t, f) for f, _v, _p in stmt["set"])
+        pairs.update((t, c["field"]) for c in stmt.get("where", ()))
+    return pairs
+
+
+# -- generation ----------------------------------------------------------------
+class CaseGenerator:
+    """Deterministic case factory: ``CaseGenerator(seed).case(i)``.
+
+    The same ``(seed, i)`` always yields byte-identical cases, so a CI
+    failure reported as ``seed=S iteration=I`` replays locally without
+    the corpus file.
+    """
+
+    def __init__(self, seed):
+        self.seed = int(seed)
+
+    def case(self, index):
+        rng = random.Random((self.seed + 1) * 1_000_003 + index)
+        tables = self._tables(rng)
+        n_statements = rng.randint(3, 6)
+        statements = [self._statement(rng, tables) for _ in range(n_statements)]
+        return FuzzCase(
+            seed=self.seed,
+            note=f"generated seed={self.seed} iteration={index}",
+            tables=tables,
+            statements=statements,
+        )
+
+    # -- schema and data -------------------------------------------------------
+    def _tables(self, rng):
+        dashed = rng.random() < 0.3
+        names = ("t-a", "t-b") if dashed else ("ta", "tb")
+        left = self._table(rng, names[0], n_fields=rng.randint(3, 6),
+                           max_rows=120)
+        right = self._table(rng, names[1], n_fields=rng.randint(3, 4),
+                            max_rows=60)
+        return [left, right]
+
+    def _table(self, rng, name, n_fields, max_rows):
+        fields = []
+        for i in range(n_fields):
+            wide = i >= 2 and rng.random() < 0.15
+            nbytes = rng.choice((16, 24)) if wide else 8
+            fields.append([f"f{i + 1}", nbytes])
+        r = rng.random()
+        if r < 0.08:
+            n_rows = 0
+        elif r < 0.2:
+            n_rows = rng.randint(1, 4)
+        else:
+            n_rows = rng.randint(5, max_rows)
+        columns = [self._column(rng, nbytes, n_rows) for _, nbytes in fields]
+        rows = [[col[i] for col in columns] for i in range(n_rows)]
+        spec = TableSpec(name=name, fields=fields, rows=rows)
+        narrow = spec.narrow_fields()
+        if narrow and n_rows and rng.random() < 0.45:
+            spec.indexes.append(rng.choice(narrow))
+        remaining = [f for f in narrow if f not in spec.indexes]
+        if remaining and n_rows and rng.random() < 0.3:
+            spec.ordered_indexes.append(rng.choice(remaining))
+        return spec
+
+    def _column(self, rng, nbytes, n_rows):
+        words = nbytes // 8
+        dist = rng.choice(
+            ("tiny", "uniform", "big", "negative", "constant", "sequential",
+             "powerlaw")
+        )
+        def draw():
+            if dist == "tiny":
+                return rng.randint(0, 8)
+            if dist == "uniform":
+                return rng.randint(0, 999)
+            if dist == "big":
+                return rng.randint(0, 10**9)
+            if dist == "negative":
+                return rng.randint(-50, 50)
+            if dist == "constant":
+                return 7
+            if dist == "powerlaw":
+                return int(1000 * rng.random() ** 4)
+            return 0
+        if dist == "sequential":
+            base = list(range(n_rows))
+            rng.shuffle(base)
+            scalars = base
+        else:
+            scalars = [draw() for _ in range(n_rows)]
+        if words == 1:
+            return scalars
+        return [[v] + [rng.randint(0, 99) for _ in range(words - 1)]
+                for v in scalars]
+
+    # -- statements ------------------------------------------------------------
+    def _statement(self, rng, tables):
+        r = rng.random()
+        if r < 0.30:
+            return self._select(rng, tables)
+        if r < 0.48:
+            return self._aggregate(rng, tables)
+        if r < 0.58:
+            return self._star(rng, tables)
+        if r < 0.73:
+            return self._ordered(rng, tables)
+        if r < 0.83:
+            return self._join(rng, tables)
+        if r < 0.95:
+            return self._update(rng, tables)
+        return self._error_statement(rng, tables)
+
+    def _pick_table(self, rng, tables):
+        return tables[0] if rng.random() < 0.7 else tables[1]
+
+    def _constant_for(self, rng, spec, fname):
+        """A comparison constant, biased toward values present in the data."""
+        idx = [f for f, _ in spec.fields].index(fname)
+        if spec.rows and rng.random() < 0.7:
+            value = rng.choice(spec.rows)[idx]
+            if isinstance(value, (list, tuple)):
+                value = value[0]
+            return int(value) + rng.choice((-1, 0, 0, 0, 1))
+        return rng.choice((0, 1, 7, -3, 50, 500, 10**6))
+
+    def _where(self, rng, spec, max_clauses=3, fields=None):
+        if fields is None:
+            fields = [f for f, _ in spec.fields]
+        clauses = []
+        for _ in range(rng.randint(0, max_clauses)):
+            fname = rng.choice(fields)
+            clause = {
+                "field": fname,
+                "op": rng.choice(OPS),
+                "value": self._constant_for(rng, spec, fname),
+                "param": None,
+            }
+            if rng.random() < 0.25:
+                clause["param"] = PARAM_NAMES[len(clauses) % len(PARAM_NAMES)]
+            clauses.append(clause)
+        return clauses
+
+    def _select(self, rng, tables):
+        spec = self._pick_table(rng, tables)
+        all_fields = [f for f, _ in spec.fields]
+        n_items = rng.randint(1, min(3, len(all_fields)))
+        items = [rng.choice(all_fields) for _ in range(n_items)]
+        return {
+            "kind": "select",
+            "table": spec.name,
+            "items": items,
+            "agg": None,
+            "where": self._where(rng, spec),
+            "order_by": None,
+            "limit": None,
+            "expect_error": False,
+        }
+
+    def _star(self, rng, tables):
+        spec = self._pick_table(rng, tables)
+        return {
+            "kind": "select",
+            "table": spec.name,
+            "items": "*",
+            "agg": None,
+            "where": self._where(rng, spec, max_clauses=2),
+            "order_by": None,
+            "limit": None,
+            "expect_error": False,
+        }
+
+    def _aggregate(self, rng, tables):
+        spec = self._pick_table(rng, tables)
+        func = rng.choice(AGG_FUNCS)
+        wide = spec.wide_fields()
+        if wide and func in ("SUM", "AVG", "COUNT") and rng.random() < 0.3:
+            # Wide-field aggregates take no WHERE (planner restriction).
+            return {
+                "kind": "select",
+                "table": spec.name,
+                "items": [],
+                "agg": [func, rng.choice(wide)],
+                "where": [],
+                "order_by": None,
+                "limit": None,
+                "expect_error": False,
+            }
+        narrow = spec.narrow_fields()
+        return {
+            "kind": "select",
+            "table": spec.name,
+            "items": [],
+            "agg": [func, rng.choice(narrow)],
+            "where": self._where(rng, spec, fields=narrow),
+            "order_by": None,
+            "limit": None,
+            "expect_error": False,
+        }
+
+    def _ordered(self, rng, tables):
+        spec = self._pick_table(rng, tables)
+        narrow = spec.narrow_fields()
+        n_items = rng.randint(1, min(3, len(narrow)))
+        items = list(dict.fromkeys(rng.choice(narrow) for _ in range(n_items)))
+        key = rng.choice(items)
+        limit = None
+        if rng.random() < 0.6:
+            limit = rng.choice((0, 1, 2, 5, 10, 1000))
+        return {
+            "kind": "select",
+            "table": spec.name,
+            "items": items,
+            "agg": None,
+            "where": self._where(rng, spec, max_clauses=2, fields=narrow),
+            "order_by": [key, rng.random() < 0.5],
+            "limit": limit,
+            "expect_error": False,
+        }
+
+    def _join(self, rng, tables):
+        left, right = tables
+        lnarrow, rnarrow = left.narrow_fields(), right.narrow_fields()
+        extra = []
+        if rng.random() < 0.35:
+            extra.append([
+                rng.choice(lnarrow),
+                rng.choice(("<", "<=", ">", ">=", "!=")),
+                rng.choice(rnarrow),
+            ])
+        items = []
+        for _ in range(rng.randint(1, 3)):
+            if rng.random() < 0.5:
+                items.append([left.name, rng.choice(lnarrow)])
+            else:
+                items.append([right.name, rng.choice(rnarrow)])
+        return {
+            "kind": "join",
+            "left": left.name,
+            "right": right.name,
+            "on": [rng.choice(lnarrow), rng.choice(rnarrow)],
+            "extra": extra,
+            "items": items,
+            "expect_error": False,
+        }
+
+    def _update(self, rng, tables):
+        spec = self._pick_table(rng, tables)
+        blocked = set(spec.indexes) | set(spec.ordered_indexes)
+        writable = [f for f, _ in spec.fields if f not in blocked]
+        if not writable:
+            return self._select(rng, tables)
+        sets = []
+        for _ in range(rng.randint(1, min(2, len(writable)))):
+            fname = rng.choice(writable)
+            param = None
+            if rng.random() < 0.2:
+                param = PARAM_NAMES[-1 - len(sets)]
+            sets.append([fname, rng.randint(-100, 1000), param])
+        return {
+            "kind": "update",
+            "table": spec.name,
+            "set": sets,
+            "where": self._where(rng, spec, max_clauses=2),
+            "expect_error": False,
+        }
+
+    def _error_statement(self, rng, tables):
+        """A statement every engine must reject with SqlError."""
+        spec = self._pick_table(rng, tables)
+        fields = [f for f, _ in spec.fields]
+        variant = rng.choice(
+            ("unknown_column", "unknown_table", "order_not_projected",
+             "column_vs_column", "bad_token", "unterminated_string")
+        )
+        if variant == "unknown_column":
+            sql = f"SELECT no_such_column FROM {spec.name}"
+        elif variant == "unknown_table":
+            sql = "SELECT f1 FROM no_such_table"
+        elif variant == "order_not_projected":
+            a, b = rng.sample(fields, 2) if len(fields) > 1 else (fields[0],) * 2
+            sql = f"SELECT {a} FROM {spec.name} ORDER BY missing_{b} ASC"
+        elif variant == "column_vs_column":
+            a = rng.choice(fields)
+            b = rng.choice(fields)
+            sql = f"SELECT {a} FROM {spec.name} WHERE {a} < {b}"
+        elif variant == "bad_token":
+            sql = f"SELECT f1 FROM {spec.name} WHERE f1 == 3"
+        else:
+            sql = f"SELECT f1 FROM {spec.name} WHERE f1 = 'oops"
+        return {"kind": "raw", "sql": sql, "expect_error": True}

@@ -1,0 +1,130 @@
+"""Fuzzing loop, failure shrinking/saving, and corpus replay."""
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.fuzz.grammar import CaseGenerator, FuzzCase
+from repro.fuzz.oracle import CONFIGS, run_case
+from repro.fuzz.shrink import shrink_case
+
+
+@dataclass
+class Failure:
+    iteration: int
+    case: FuzzCase
+    problems: list
+    path: str = ""
+
+
+@dataclass
+class FuzzReport:
+    seed: int
+    iterations: int = 0
+    statements: int = 0
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def summary(self):
+        lines = [
+            f"fuzz seed={self.seed}: {self.iterations} cases, "
+            f"{self.statements} statements, {len(self.failures)} failing"
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  iteration {failure.iteration}: "
+                f"{len(failure.problems)} discrepancies"
+                + (f" -> {failure.path}" if failure.path else "")
+            )
+            lines.extend(f"    {p}" for p in failure.problems[:5])
+            if len(failure.problems) > 5:
+                lines.append(
+                    f"    ... {len(failure.problems) - 5} more"
+                )
+        return "\n".join(lines)
+
+
+def _resolve_configs(config_keys):
+    if not config_keys:
+        return None
+    unknown = [k for k in config_keys if k not in CONFIGS]
+    if unknown:
+        raise KeyError(
+            f"unknown configs {unknown}; choose from {sorted(CONFIGS)}"
+        )
+    return [CONFIGS[k] for k in config_keys]
+
+
+def run_fuzz(seed=0, iterations=100, config_keys=None, save_dir=None,
+             shrink=True, max_failures=3, progress=None):
+    """Run the differential loop; returns a :class:`FuzzReport`.
+
+    Failing cases are shrunk (when ``shrink``) and written as JSON repro
+    files into ``save_dir``; the loop stops early after ``max_failures``
+    distinct failing iterations.
+    """
+    configs = _resolve_configs(config_keys)
+    generator = CaseGenerator(seed)
+    report = FuzzReport(seed=seed)
+    for iteration in range(iterations):
+        case = generator.case(iteration)
+        problems = run_case(case, configs)
+        report.iterations += 1
+        report.statements += len(case.statements)
+        if progress and (iteration + 1) % 25 == 0:
+            progress(f"  ... {iteration + 1}/{iterations} cases, "
+                     f"{len(report.failures)} failing")
+        if not problems:
+            continue
+        if shrink:
+            case = shrink_case(
+                case, lambda c: bool(run_case(c, configs))
+            )
+            problems = run_case(case, configs)
+        failure = Failure(iteration=iteration, case=case, problems=problems)
+        if save_dir:
+            os.makedirs(save_dir, exist_ok=True)
+            failure.path = os.path.join(
+                save_dir, f"fuzz-seed{seed}-iter{iteration}.json"
+            )
+            save_case(case, failure.path, problems=problems)
+        report.failures.append(failure)
+        if len(report.failures) >= max_failures:
+            break
+    return report
+
+
+def save_case(case, path, problems=None):
+    """Write a replayable JSON repro file."""
+    payload = case.to_dict()
+    if problems:
+        payload["problems"] = list(problems)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_case(path) -> FuzzCase:
+    with open(path) as handle:
+        return FuzzCase.from_dict(json.load(handle))
+
+
+def replay_corpus(directory, config_keys=None):
+    """Re-run every ``*.json`` case under ``directory``.
+
+    Returns ``{filename: problems}`` for the failing files (empty dict
+    = the whole corpus passes).
+    """
+    configs = _resolve_configs(config_keys)
+    failures = {}
+    names = sorted(
+        name for name in os.listdir(directory) if name.endswith(".json")
+    )
+    for name in names:
+        problems = run_case(load_case(os.path.join(directory, name)), configs)
+        if problems:
+            failures[name] = problems
+    return failures

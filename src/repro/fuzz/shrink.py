@@ -1,0 +1,204 @@
+"""Delta-debugging shrinker for failing fuzz cases.
+
+Given a case and a ``still_fails`` predicate (deterministic — the whole
+stack is seeded), repeatedly tries structure-removing edits and keeps
+any that preserve the failure:
+
+1. drop whole statements, then tables no remaining statement touches;
+2. drop rows (halves first, then quarters, ...), ddmin style;
+3. simplify each statement: drop WHERE clauses, SELECT items, ORDER
+   BY/LIMIT, UPDATE assignments, join extras;
+4. drop indexes and shrink literals toward zero.
+
+The result is the small, human-readable repro that gets committed to
+``tests/corpus/``.  Evaluations are budgeted: shrinking trades
+completeness for a bounded number of oracle runs.
+"""
+
+from repro.fuzz.grammar import FuzzCase, statement_fields
+
+
+def _clone(case):
+    return FuzzCase.from_dict(case.to_dict())
+
+
+class _Budget:
+    def __init__(self, evaluations):
+        self.remaining = evaluations
+
+    def spend(self):
+        self.remaining -= 1
+        return self.remaining >= 0
+
+
+def shrink_case(case, still_fails, max_evaluations=250):
+    """Smallest case (by statement/row/clause count) that still fails."""
+    budget = _Budget(max_evaluations)
+
+    def attempt(candidate):
+        if not budget.spend():
+            return False
+        try:
+            return still_fails(candidate)
+        except Exception:
+            # A candidate that crashes the harness itself is not a
+            # simplification of the original failure.
+            return False
+
+    current = _clone(case)
+    changed = True
+    while changed and budget.remaining > 0:
+        changed = False
+        current, c = _drop_statements(current, attempt)
+        changed |= c
+        current, c = _drop_unused_tables(current)
+        changed |= c
+        current, c = _drop_rows(current, attempt)
+        changed |= c
+        current, c = _simplify_statements(current, attempt)
+        changed |= c
+        current, c = _drop_indexes(current, attempt)
+        changed |= c
+        current, c = _shrink_values(current, attempt)
+        changed |= c
+    return current
+
+
+def _drop_statements(case, attempt):
+    changed = False
+    index = len(case.statements) - 1
+    while index >= 0 and len(case.statements) > 1:
+        candidate = _clone(case)
+        del candidate.statements[index]
+        if attempt(candidate):
+            case = candidate
+            changed = True
+        index -= 1
+    return case, changed
+
+
+def _drop_unused_tables(case):
+    used = set()
+    for stmt in case.statements:
+        if stmt["kind"] == "raw":
+            return case, False  # raw SQL references tables by text only
+        for table, _field in statement_fields(stmt, case):
+            used.add(table)
+        if stmt["kind"] == "join":
+            used.update((stmt["left"], stmt["right"]))
+        else:
+            used.add(stmt["table"])
+    keep = [t for t in case.tables if t.name in used]
+    if len(keep) == len(case.tables) or not keep:
+        return case, False
+    candidate = _clone(case)
+    candidate.tables = [t for t in candidate.tables if t.name in used]
+    return candidate, True
+
+
+def _drop_rows(case, attempt):
+    changed = False
+    for t, spec in enumerate(case.tables):
+        window = max(1, len(spec.rows) // 2)
+        while window >= 1 and case.tables[t].rows:
+            start = 0
+            while start < len(case.tables[t].rows):
+                candidate = _clone(case)
+                del candidate.tables[t].rows[start : start + window]
+                if attempt(candidate):
+                    case = candidate
+                    changed = True
+                else:
+                    start += window
+            if window == 1:
+                break
+            window = max(1, window // 2)
+    return case, changed
+
+
+def _simplify_statements(case, attempt):
+    changed = False
+    for i, stmt in enumerate(case.statements):
+        if stmt["kind"] == "raw":
+            continue
+        for edit in _statement_edits(stmt):
+            candidate = _clone(case)
+            edit(candidate.statements[i])
+            if attempt(candidate):
+                case = candidate
+                changed = True
+    return case, changed
+
+
+def _statement_edits(stmt):
+    """Single-step simplifications applicable to ``stmt`` (as mutators)."""
+    edits = []
+    for key in ("where",):
+        for j in range(len(stmt.get(key, ()))):
+            edits.append(lambda s, k=key, j=j: s[k].pop(j))
+    if stmt["kind"] == "select":
+        if stmt.get("limit") is not None:
+            edits.append(lambda s: s.update(limit=None))
+        if stmt.get("order_by"):
+            edits.append(lambda s: s.update(order_by=None, limit=None))
+        items = stmt.get("items")
+        if isinstance(items, list) and len(items) > 1:
+            for j in range(len(items)):
+                def drop_item(s, j=j):
+                    if not s.get("order_by") or s["order_by"][0] != s["items"][j]:
+                        s["items"].pop(j)
+                edits.append(drop_item)
+    elif stmt["kind"] == "join":
+        for j in range(len(stmt.get("extra", ()))):
+            edits.append(lambda s, j=j: s["extra"].pop(j))
+        if len(stmt["items"]) > 1:
+            for j in range(len(stmt["items"])):
+                edits.append(lambda s, j=j: s["items"].pop(j))
+    elif stmt["kind"] == "update":
+        if len(stmt["set"]) > 1:
+            for j in range(len(stmt["set"])):
+                edits.append(lambda s, j=j: s["set"].pop(j))
+    return reversed(edits)  # pop from the back so indices stay valid
+
+
+def _drop_indexes(case, attempt):
+    changed = False
+    for t in range(len(case.tables)):
+        for kind in ("indexes", "ordered_indexes"):
+            while getattr(case.tables[t], kind):
+                candidate = _clone(case)
+                getattr(candidate.tables[t], kind).pop()
+                if attempt(candidate):
+                    case = candidate
+                    changed = True
+                else:
+                    break
+    return case, changed
+
+
+def _shrink_values(case, attempt):
+    """Halve data values toward zero (one pass; keeps repros readable)."""
+    changed = False
+    for t, spec in enumerate(case.tables):
+        for r in range(len(spec.rows)):
+            for c in range(len(spec.rows[r])):
+                value = case.tables[t].rows[r][c]
+                if isinstance(value, list) or value in (0, 1, -1):
+                    continue
+                candidate = _clone(case)
+                candidate.tables[t].rows[r][c] = int(value) // 2
+                if attempt(candidate):
+                    case = candidate
+                    changed = True
+    return case, changed
+
+
+def clause_count(case):
+    """Total WHERE/extra clause count (the ISSUE's repro-size metric)."""
+    total = 0
+    for stmt in case.statements:
+        if stmt["kind"] == "raw":
+            continue
+        total += len(stmt.get("where", ()))
+        total += len(stmt.get("extra", ()))
+    return total

@@ -6,6 +6,10 @@ Installed as ``rcnvm-experiments``::
     rcnvm-experiments fig4 fig5
     rcnvm-experiments fig18 --scale 0.5
     rcnvm-experiments all --small --scale 0.25
+    rcnvm-experiments fuzz --seed 0 --iterations 200
+
+The ``fuzz`` subcommand has its own flags and dispatches to
+:mod:`repro.fuzz.cli` (differential SQL fuzzing; see EXPERIMENTS.md).
 """
 
 import argparse
@@ -120,6 +124,12 @@ EXPERIMENTS = ("table1", "table2", "fig4", "fig5", "fig17") + _SQL_GROUP + (
 
 
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import main as fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rcnvm-experiments",
         description="Regenerate the RC-NVM paper's tables and figures.",
@@ -127,7 +137,8 @@ def main(argv=None):
     parser.add_argument(
         "experiments",
         nargs="*",
-        help=f"which to run: {', '.join(EXPERIMENTS)}, or 'all'",
+        help=f"which to run: {', '.join(EXPERIMENTS)}, or 'all' "
+             "(or the 'fuzz' subcommand, which takes its own flags)",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--scale", type=float, default=1.0,

@@ -42,6 +42,10 @@ class ExecutionOutcome:
     timing: Optional[RunResult]
     plan: object
     trace_length: int
+    #: The raw :class:`~repro.cpu.tracebuffer.TraceBuffer`, kept so
+    #: conformance checks (repro.fuzz.invariants) can audit every access
+    #: against chunk geometry after the fact.
+    trace: object = None
 
     @property
     def cycles(self):
@@ -311,6 +315,7 @@ class Database:
             timing=timing,
             plan=plan,
             trace_length=len(trace),
+            trace=trace,
         )
 
     def explain(self, sql, params=None, **kwargs):

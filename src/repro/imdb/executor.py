@@ -17,7 +17,7 @@ from repro.core.addressing import Coordinate, Orientation
 from repro.core import isa
 from repro.cpu.trace import Op
 from repro.cpu.tracebuffer import TraceBuffer
-from repro.errors import SqlError
+from repro.errors import LayoutError, SqlError
 from repro.geometry import CACHE_LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
 from repro.imdb.chunks import IntraLayout, Run
 from repro.imdb.planner import (
@@ -192,7 +192,12 @@ class Executor:
         buffered = isinstance(trace, TraceBuffer)
         gather_index = 0
         for chunk in table.chunks:
-            assert chunk.layout is IntraLayout.ROW and not chunk.placement.rotated
+            if chunk.layout is not IntraLayout.ROW or chunk.placement.rotated:
+                raise LayoutError(
+                    f"gathered scan over table {table.name!r} requires "
+                    "row-major, unrotated chunks (planner must not choose "
+                    "GATHER here)"
+                )
             for chunk_row in range(chunk.used_rows()):
                 first_local = chunk_row * chunk.slots
                 here = min(chunk.slots, chunk.n_tuples - first_local)

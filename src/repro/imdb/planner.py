@@ -25,7 +25,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import SqlError
+from repro.errors import LayoutError, SqlError
+from repro.imdb.chunks import IntraLayout
 from repro.imdb.sql_ast import (
     Aggregate,
     ColumnRef,
@@ -218,11 +219,16 @@ class Planner:
     @staticmethod
     def _gather_eligible(table):
         """GS-DRAM restrictions (Section 1): power-of-two stride only, and
-        only over data resident in normally-addressed rows (no rotation)."""
+        only over row-major data resident in normally-addressed rows (no
+        column intra-layout, no rotation) — a gathered burst strides
+        across consecutive tuples within one DRAM row."""
         tw = table.schema.tuple_words
         if tw & (tw - 1):
             return False
-        return all(not chunk.placement.rotated for chunk in table.chunks)
+        return all(
+            chunk.layout is IntraLayout.ROW and not chunk.placement.rotated
+            for chunk in table.chunks
+        )
 
     def _resolve_value(self, operand, params):
         if isinstance(operand, Literal):
@@ -291,7 +297,7 @@ class Planner:
             if order_by is not None or statement.limit is not None:
                 raise SqlError("ORDER BY / LIMIT on aggregates is meaningless")
             agg = items[0]
-            agg_field = table.schema.field(agg.column.name)
+            agg_field = _schema_field(table, agg.column.name)
             if agg_field.is_wide:
                 if predicates:
                     raise SqlError("wide-field aggregates with WHERE are not supported")
@@ -349,7 +355,7 @@ class Planner:
         for item in items:
             if not isinstance(item, ColumnRef):
                 raise SqlError("mixed aggregate/column select lists are unsupported")
-            table.schema.field(item.name)  # validates
+            _schema_field(table, item.name)  # validates
             fields.append(item.name)
         if not predicates:
             self._check_order_in_fields(order_by, fields)
@@ -397,7 +403,7 @@ class Planner:
         column = statement.order_by.column
         if column.table is not None and column.table != table.name:
             raise SqlError(f"ORDER BY column {column} names the wrong table")
-        field = table.schema.field(column.name)
+        field = _schema_field(table, column.name)
         if field.is_wide:
             raise SqlError(f"cannot ORDER BY wide field {column.name!r}")
         return (column.name, statement.order_by.descending)
@@ -440,10 +446,25 @@ class Planner:
                 extra.append((left.name, comparison.op, right.name))
         if equality is None:
             raise SqlError("two-table SELECT requires an equality join predicate")
+        left_table, right_table = self._table(left_name), self._table(right_name)
+        _schema_field(left_table, equality[0])
+        _schema_field(right_table, equality[1])
+        for lf, _op, rf in extra:
+            _schema_field(left_table, lf)
+            _schema_field(right_table, rf)
         output = []
         for item in statement.items:
             if not isinstance(item, ColumnRef) or not item.table:
                 raise SqlError("join outputs must be table-qualified columns")
+            if item.table == left_name:
+                _schema_field(left_table, item.name)
+            elif item.table == right_name:
+                _schema_field(right_table, item.name)
+            else:
+                raise SqlError(
+                    f"join output {item.table}.{item.name} names a table "
+                    "not in FROM"
+                )
             output.append((item.table, item.name))
         return JoinPlan(
             left=left_name,
@@ -463,7 +484,7 @@ class Planner:
         predicates = self._resolve_predicates(statement.where, table_name, params)
         assignments = []
         for assignment in statement.assignments:
-            table.schema.field(assignment.column)  # validates
+            _schema_field(table, assignment.column)  # validates
             if (assignment.column in table.indexes
                     or assignment.column in table.ordered_indexes):
                 raise SqlError(
@@ -490,6 +511,18 @@ class Planner:
                 )
             ),
         )
+
+
+def _schema_field(table, name):
+    """Look a field up, surfacing unknown columns as SQL errors (the
+    schema's LayoutError is an internal exception; user-facing statement
+    validation must stay inside the SqlError hierarchy)."""
+    try:
+        return table.schema.field(name)
+    except LayoutError:
+        raise SqlError(
+            f"unknown column {name!r} in table {table.name!r}"
+        ) from None
 
 
 def _flip_op(op):

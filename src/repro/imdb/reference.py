@@ -117,7 +117,12 @@ class ReferenceEngine:
         ordered = statement.order_by is not None
         if ordered:
             names = fields if fields is not None else table.schema.field_names()
-            key_index = names.index(statement.order_by.column.name)
+            key = statement.order_by.column.name
+            if key not in names:
+                raise SqlError(
+                    f"ORDER BY column {key!r} is not in the projected fields"
+                )
+            key_index = names.index(key)
             rows = sorted(
                 rows,
                 key=lambda row: row[key_index],
@@ -130,11 +135,26 @@ class ReferenceEngine:
     def _join(self, statement, params):
         left = self.database.table(statement.tables[0])
         right = self.database.table(statement.tables[1])
+        if statement.order_by is not None or statement.limit is not None:
+            raise SqlError("ORDER BY / LIMIT on joins is not supported")
+        for item in statement.items:
+            if not isinstance(item, ColumnRef) or not item.table:
+                raise SqlError("join outputs must be table-qualified columns")
+            if item.table not in (left.name, right.name):
+                raise SqlError(
+                    f"join output {item.table}.{item.name} names a table "
+                    "not in FROM"
+                )
         equality = None
         extras = []
         for comparison in statement.where:
             lref, rref = comparison.left, comparison.right
             op = comparison.op
+            if not (isinstance(lref, ColumnRef) and isinstance(rref, ColumnRef)
+                    and lref.table and rref.table):
+                raise SqlError(
+                    f"join predicates must be table-qualified: {comparison}"
+                )
             if lref.table == right.name and rref.table == left.name:
                 lref, rref = rref, lref
                 op = _FLIP[op]

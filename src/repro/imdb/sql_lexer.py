@@ -52,7 +52,18 @@ def tokenize(sql):
     while position < len(sql):
         match = _TOKEN_RE.match(sql, position)
         if match is None:
-            raise SqlError(f"unexpected character {sql[position]!r} at {position}")
+            c = sql[position]
+            if c in ("'", '"'):
+                closing = sql.find(c, position + 1)
+                if closing < 0:
+                    raise SqlError(
+                        f"unterminated string starting at {position}"
+                    )
+                raise SqlError(
+                    f"string literal at {position} is not supported "
+                    "(the dialect has integer values only)"
+                )
+            raise SqlError(f"unexpected character {c!r} at {position}")
         kind = match.lastgroup
         text = match.group()
         if kind == "WS" or kind == "SEMI":

@@ -57,7 +57,10 @@ class _Parser:
         elif self.current.kind == "UPDATE":
             node = self.update()
         else:
-            raise SqlError(f"statement must start with SELECT or UPDATE: {self.sql!r}")
+            raise SqlError(
+                f"statement must start with SELECT or UPDATE at "
+                f"{self.current.position} in {self.sql!r}"
+            )
         self.expect("EOF")
         return node
 
@@ -117,7 +120,9 @@ class _Parser:
         column = self.expect("IDENT").text
         op = self.expect("OP")
         if op.text != "=":
-            raise SqlError(f"assignments use '=', found {op.text!r}")
+            raise SqlError(
+                f"assignments use '=', found {op.text!r} at {op.position}"
+            )
         return Assignment(column=column, value=self.operand())
 
     def optional_order_by(self):
@@ -138,7 +143,9 @@ class _Parser:
         token = self.expect("NUMBER")
         limit = int(token.text)
         if limit < 0:
-            raise SqlError(f"LIMIT must be non-negative, got {limit}")
+            raise SqlError(
+                f"LIMIT must be non-negative, got {limit} at {token.position}"
+            )
         return limit
 
     def optional_where(self):

@@ -177,6 +177,43 @@ class MemoryStats:
                 setattr(merged, name, mine + theirs)
         return merged
 
+    def check_conservation(self):
+        """Internal-consistency violations of this stat block, as strings.
+
+        Every memory request is classified exactly once on two axes, so
+        for any snapshot (single controller or merged system):
+
+        * buffer outcomes partition the requests:
+          ``buffer_hits + buffer_empty_misses + buffer_conflicts == accesses``
+        * orientations partition the requests:
+          ``row_oriented + col_oriented + gathers == accesses``
+        * orientation switches are a subset of buffer conflicts.
+
+        Used by the fuzz harness (repro.fuzz.invariants) after every
+        statement; an empty list means the counters are conserved.
+        """
+        problems = []
+        outcomes = self.buffer_hits + self.buffer_empty_misses + self.buffer_conflicts
+        if outcomes != self.accesses:
+            problems.append(
+                f"buffer outcomes {outcomes} != accesses {self.accesses} "
+                f"(hits={self.buffer_hits}, empty={self.buffer_empty_misses}, "
+                f"conflicts={self.buffer_conflicts})"
+            )
+        oriented = self.row_oriented + self.col_oriented + self.gathers
+        if oriented != self.accesses:
+            problems.append(
+                f"orientation counts {oriented} != accesses {self.accesses} "
+                f"(row={self.row_oriented}, col={self.col_oriented}, "
+                f"gather={self.gathers})"
+            )
+        if self.orientation_switches > self.buffer_conflicts:
+            problems.append(
+                f"orientation switches {self.orientation_switches} exceed "
+                f"buffer conflicts {self.buffer_conflicts}"
+            )
+        return problems
+
     def snapshot(self) -> dict:
         data = dict(vars(self))
         data["latency_hist"] = self.latency_hist.to_dict()

@@ -4,8 +4,23 @@ Everything uses the small geometries (16 MB memories, tiny caches) so the
 full suite runs in seconds while preserving every structural property.
 """
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import settings
+
+    # CI runs derandomized with a fixed, larger budget so failures are
+    # reproducible from the log alone; local runs keep the faster default.
+    settings.register_profile(
+        "ci", derandomize=True, max_examples=200, deadline=None
+    )
+    settings.register_profile("dev", max_examples=25, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
 
 from repro.geometry import SMALL_DRAM_GEOMETRY, SMALL_RCNVM_GEOMETRY
 from repro.imdb.database import Database

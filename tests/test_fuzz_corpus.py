@@ -1,0 +1,48 @@
+"""Replay the committed fuzz regression corpus.
+
+Every ``tests/corpus/*.json`` case runs through the full differential
+oracle (all system configs, reference engine, sqlite, trace
+invariants).  A case that once exposed a bug stays here forever; see
+``tests/corpus/README.md`` for the triage workflow.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.fuzz import replay_corpus
+from repro.fuzz.runner import load_case
+
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+CASES = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(CASES) >= 4
+
+
+def test_corpus_files_are_loadable_and_normalized():
+    for path in CASES:
+        case = load_case(path)
+        assert case.statements, f"{path.name} has no statements"
+        # Files are committed in canonical form so diffs stay readable.
+        payload = json.loads(path.read_text())
+        canonical = dict(case.to_dict())
+        if "problems" in payload:
+            canonical["problems"] = payload["problems"]
+        assert payload == canonical, f"{path.name} is not in canonical form"
+        assert path.read_text().endswith("\n")
+
+
+def test_replay_corpus_is_clean():
+    failures = replay_corpus(CORPUS)
+    assert failures == {}, "\n".join(
+        f"{name}: {problems}" for name, problems in failures.items()
+    )
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_each_case_has_a_note(path):
+    case = load_case(path)
+    assert case.note, f"{path.name} should say what it regression-tests"

@@ -1,0 +1,68 @@
+"""Sensitivity check: the fuzzer must catch a deliberately planted bug.
+
+A LIMIT off-by-one is planted into ``Executor._order_and_limit``
+(silently dropping the last row whenever a LIMIT is hit).  The
+differential loop has to (a) notice within a bounded seed-0 run,
+(b) shrink the failure to a tiny repro (the ISSUE's bar: at most three
+predicate clauses), and (c) flag the committed fixture
+``tests/corpus/planted-limit-off-by-one.json`` — which in turn must
+pass on clean code (the corpus replay test covers that half).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.fuzz import run_case, run_fuzz
+from repro.fuzz.runner import load_case
+from repro.fuzz.shrink import clause_count
+from repro.imdb.executor import Executor
+
+FIXTURE = (
+    pathlib.Path(__file__).parent / "corpus" / "planted-limit-off-by-one.json"
+)
+FAST_KEYS = ["dram-row", "rcnvm-col"]
+
+
+@pytest.fixture
+def planted_limit_bug(monkeypatch):
+    original = Executor._order_and_limit
+
+    def buggy(self, table, plan, rows):
+        result = original(self, table, plan, rows)
+        limit = getattr(plan, "limit", None)
+        if (
+            limit is not None
+            and result.kind == "rows"
+            and len(result.rows) == limit
+        ):
+            result.rows = result.rows[:-1]
+        return result
+
+    monkeypatch.setattr(Executor, "_order_and_limit", buggy)
+
+
+def test_fuzzer_catches_and_shrinks_the_planted_bug(planted_limit_bug):
+    report = run_fuzz(
+        seed=0, iterations=40, config_keys=FAST_KEYS, max_failures=1
+    )
+    assert not report.ok, "planted LIMIT off-by-one went undetected"
+    failure = report.failures[0]
+    assert failure.problems
+    # The shrinker must reduce the repro to the ISSUE's bar.
+    assert clause_count(failure.case) <= 3
+    assert len(failure.case.statements) == 1
+    assert failure.case.statements[0].get("limit") is not None
+
+
+def test_committed_fixture_fails_under_the_bug(planted_limit_bug):
+    case = load_case(FIXTURE)
+    problems = run_case(case, configs=None)  # full config lattice
+    assert problems, "fixture no longer reproduces the planted bug"
+    assert clause_count(case) <= 3
+
+
+def test_committed_fixture_passes_on_clean_code():
+    # Redundant with the corpus replay, but kept next to its bug-side
+    # twin so the pairing is obvious.
+    assert run_case(load_case(FIXTURE)) == []

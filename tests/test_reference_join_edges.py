@@ -1,0 +1,127 @@
+"""Join edge cases: ReferenceEngine._join vs the planned executor.
+
+The fuzz oracle leans on the reference engine as ground truth, so its
+join semantics get direct scrutiny here: duplicate keys (many-to-many
+multiplicities), an empty build side, rejected combinations
+(aggregates, ORDER BY / LIMIT), and inequality extras — each checked
+for agreement between reference and executor on every system.
+"""
+
+from collections import Counter
+
+import pytest
+
+from conftest import make_database
+from repro.errors import SqlError
+from repro.imdb.sql_parser import parse
+
+JOIN_SQL = "SELECT l.tag, r.val FROM l, r WHERE l.key = r.key"
+
+
+def build_join_db(system, left_rows, right_rows, layout="row"):
+    db = make_database(system, verify=False)
+    db.create_table("l", [("key", 8), ("tag", 8)], layout=layout)
+    db.create_table("r", [("key", 8), ("val", 8)], layout=layout)
+    if left_rows:
+        db.insert_many("l", left_rows)
+    if right_rows:
+        db.insert_many("r", right_rows)
+    return db
+
+
+def both_results(db, sql, params=None):
+    reference = db.reference.execute(parse(sql), params=params)
+    executed = db.execute(sql, params=params, simulate=False).result
+    return reference, executed
+
+
+class TestDuplicateKeys:
+    # key 7 appears 3x left and 2x right -> 6 output rows for that key.
+    LEFT = [(7, 1), (7, 2), (7, 3), (9, 4), (5, 5)]
+    RIGHT = [(7, 10), (7, 20), (9, 30), (3, 40)]
+
+    def test_many_to_many_multiplicities(self, any_system_name):
+        db = build_join_db(any_system_name, self.LEFT, self.RIGHT)
+        reference, executed = both_results(db, JOIN_SQL)
+        expected = Counter(
+            (tag, val)
+            for key, tag in self.LEFT
+            for rkey, val in self.RIGHT
+            if key == rkey
+        )
+        assert Counter(reference.rows) == expected
+        assert Counter(executed.rows) == expected
+        assert len(reference.rows) == 3 * 2 + 1
+
+    def test_self_multiplicity_with_extra(self, any_system_name):
+        db = build_join_db(any_system_name, self.LEFT, self.RIGHT)
+        sql = JOIN_SQL + " AND l.tag < r.val"
+        reference, executed = both_results(db, sql)
+        expected = Counter(
+            (tag, val)
+            for key, tag in self.LEFT
+            for rkey, val in self.RIGHT
+            if key == rkey and tag < val
+        )
+        assert Counter(reference.rows) == expected
+        assert Counter(executed.rows) == expected
+
+
+class TestEmptySides:
+    def test_empty_build_side(self, any_system_name):
+        db = build_join_db(any_system_name, [(1, 2), (3, 4)], [])
+        reference, executed = both_results(db, JOIN_SQL)
+        assert reference.rows == []
+        assert executed.rows == []
+
+    def test_empty_probe_side(self, any_system_name):
+        db = build_join_db(any_system_name, [], [(1, 2), (3, 4)])
+        reference, executed = both_results(db, JOIN_SQL)
+        assert reference.rows == []
+        assert executed.rows == []
+
+    def test_no_matching_keys(self, any_system_name):
+        db = build_join_db(any_system_name, [(1, 2)], [(9, 8)])
+        reference, executed = both_results(db, JOIN_SQL)
+        assert reference.rows == []
+        assert executed.rows == []
+
+
+class TestRejectedCombinations:
+    """Planner and reference must refuse the same statements, both with
+    SqlError — a statement one engine rejects and the other answers
+    would show up as a fuzz discrepancy."""
+
+    REJECTS = [
+        "SELECT SUM(l.tag) FROM l, r WHERE l.key = r.key",
+        JOIN_SQL + " ORDER BY tag",
+        JOIN_SQL + " LIMIT 3",
+        JOIN_SQL + " ORDER BY tag LIMIT 3",
+        # Unqualified output column in a join.
+        "SELECT tag FROM l, r WHERE l.key = r.key",
+        # Output names a table not in FROM.
+        "SELECT x.tag, r.val FROM l, r WHERE l.key = r.key",
+        # Predicate against a literal instead of a qualified column pair.
+        "SELECT l.tag, r.val FROM l, r WHERE l.key = r.key AND l.tag > 3",
+        # No equality key at all.
+        "SELECT l.tag, r.val FROM l, r WHERE l.key > r.key",
+    ]
+
+    @pytest.mark.parametrize("sql", REJECTS)
+    def test_rejected_by_both_engines(self, sql):
+        db = build_join_db("RC-NVM", [(1, 2)], [(1, 3)])
+        with pytest.raises(SqlError):
+            db.reference.execute(parse(sql))
+        with pytest.raises(SqlError):
+            db.execute(sql, simulate=False)
+
+
+class TestLayoutsAgree:
+    def test_row_and_column_layouts_match(self, any_layout):
+        left = [(k % 4, 100 + k) for k in range(17)]
+        right = [(k % 3, 200 + k) for k in range(11)]
+        db = build_join_db("RC-NVM", left, right, layout=any_layout)
+        sql = JOIN_SQL + " AND l.tag != r.val"
+        reference, executed = both_results(db, sql)
+        assert Counter(executed.rows) == Counter(reference.rows)
+        assert len(reference.rows) > 0

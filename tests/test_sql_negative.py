@@ -1,0 +1,135 @@
+"""Negative-path tests for the SQL front end.
+
+Malformed SQL — lexer garbage, parser dead-ends, unknown names — must
+surface as :class:`SqlError` carrying a character position where one
+exists, never as a raw Python exception (AssertionError, ValueError,
+AttributeError, KeyError, ...) leaking out of ``db.execute``.
+"""
+
+import re
+
+import pytest
+from conftest import make_database
+
+from repro.errors import SqlError
+from repro.imdb.sql_lexer import tokenize
+from repro.imdb.sql_parser import parse
+
+try:
+    from hypothesis import given
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+
+POSITIONED = re.compile(r"at \d+")
+
+
+# Statements that must fail in the lexer or parser, before any table
+# lookup; every message must carry a character position.
+PARSE_REJECTS = [
+    "SELECT f1 FROM t WHERE f1 == 3",       # '==' lexes as '=' '=' -> parse error
+    "SELECT f1 FROM t WHERE name = 'oops",  # unterminated string
+    'SELECT f1 FROM t WHERE name = "x"',    # strings unsupported
+    "SELECT f1 FROM t WHERE f1 = $3",       # unexpected character
+    "DELETE FROM t",                        # unsupported verb
+    "SELECT FROM t",                        # missing select list
+    "SELECT f1 t",                          # missing FROM
+    "SELECT f1 FROM t LIMIT -1",            # negative LIMIT
+    "SELECT f1 FROM t LIMIT f1",            # non-numeric LIMIT
+    "SELECT f1 FROM t ORDER BY",            # dangling ORDER BY
+    "SELECT f1 FROM t ORDER f1",            # ORDER without BY
+    "SELECT SUM(f1 FROM t",                 # unclosed aggregate paren
+    "SELECT SUM() FROM t",                  # empty aggregate
+    "UPDATE t SET f1 > 3",                  # assignment must use '='
+    "UPDATE t SET WHERE f1 = 1",            # missing assignment
+    "SELECT f1, FROM t",                    # trailing comma
+    "SELECT f1 FROM t WHERE",               # dangling WHERE
+    "SELECT f1 FROM t WHERE f1 <",          # dangling comparison
+    "SELECT f1 FROM t extra",               # trailing tokens past statement
+    "",                                     # empty statement
+]
+
+
+@pytest.mark.parametrize("sql", PARSE_REJECTS)
+def test_malformed_sql_raises_positioned_sqlerror(sql):
+    with pytest.raises(SqlError) as excinfo:
+        parse(sql)
+    assert POSITIONED.search(str(excinfo.value)), (
+        f"SqlError for {sql!r} lacks a character position: {excinfo.value}"
+    )
+
+
+def test_lexer_reports_unterminated_vs_unsupported_strings():
+    with pytest.raises(SqlError, match="unterminated string starting at 4"):
+        tokenize("a = 'oops")
+    with pytest.raises(SqlError, match="not supported"):
+        tokenize("a = 'oops'")
+
+
+def test_lexer_normalizes_diamond_operator():
+    kinds = [(t.kind, t.text) for t in tokenize("a <> 3")]
+    assert ("OP", "!=") in kinds
+
+
+# Statements that parse but must be rejected with SqlError by the
+# planner / database layer (still never a raw Python exception).
+SEMANTIC_REJECTS = [
+    "SELECT nope FROM ta",                       # unknown column in select
+    "SELECT f1 FROM missing",                    # unknown table
+    "SELECT SUM(nope) FROM ta",                  # unknown aggregate column
+    "SELECT f1 FROM ta WHERE nope = 1",          # unknown column in WHERE
+    "SELECT f1 FROM ta ORDER BY f2",             # ORDER BY not projected
+    "SELECT f1 FROM ta ORDER BY nope",           # ORDER BY unknown column
+    "UPDATE ta SET nope = 1",                    # unknown column in SET
+    "SELECT f1 FROM ta WHERE f1 = f2",           # column-vs-column predicate
+    "SELECT ta.f1, tb.f1 FROM ta, tb",           # join without equality key
+    "SELECT tc.f1 FROM ta, tb WHERE ta.f1 = tb.f1",  # output names third table
+    "SELECT ta.f1 FROM ta, tb WHERE ta.f1 = tb.f1 ORDER BY f1 LIMIT 2",
+]
+
+
+@pytest.fixture(scope="module")
+def two_table_db():
+    db = make_database("RC-NVM", verify=False)
+    for name in ("ta", "tb"):
+        db.create_table(name, [("f1", 8), ("f2", 8)])
+        db.insert_many(name, [(1, 10), (2, 20), (3, 30)])
+    return db
+
+
+@pytest.mark.parametrize("sql", SEMANTIC_REJECTS)
+def test_semantic_errors_are_sqlerrors(two_table_db, sql):
+    with pytest.raises(SqlError):
+        two_table_db.execute(sql)
+
+
+def test_unknown_column_message_names_column_and_table(two_table_db):
+    with pytest.raises(SqlError, match=r"unknown column 'nope'.*'ta'"):
+        two_table_db.execute("SELECT nope FROM ta")
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(st.text(min_size=1, max_size=60))
+    def test_parser_never_raises_non_sqlerror(sql):
+        """Arbitrary text either parses or raises SqlError — nothing else."""
+        try:
+            parse(sql)
+        except SqlError:
+            pass
+
+    _token = st.sampled_from(
+        "SELECT FROM WHERE AND UPDATE SET ORDER BY LIMIT SUM ( ) , . * "
+        "= < > <= >= != f1 f2 ta tb 3 -7 ' \"".split()
+    )
+
+    @given(st.lists(_token, min_size=1, max_size=12))
+    def test_token_soup_never_raises_non_sqlerror(tokens):
+        """Well-lexed but structurally random statements stay in SqlError."""
+        try:
+            parse(" ".join(tokens))
+        except SqlError:
+            pass
