@@ -19,6 +19,19 @@ class CacheStats:
     #: group size must respect the physical cache size).
     pin_overflows: int = 0
 
+    #: Typed instrument declaration for the metrics registry
+    #: (:func:`repro.obs.metrics.bind_stats`); field names mirror the
+    #: dataclass so ``snapshot()`` keys are unchanged.
+    INSTRUMENTS = {
+        "hits": "counter",
+        "misses": "counter",
+        "evictions": "counter",
+        "writebacks": "counter",
+        "fills": "counter",
+        "pin_skips": "counter",
+        "pin_overflows": "counter",
+    }
+
     @property
     def accesses(self):
         return self.hits + self.misses
@@ -58,6 +71,14 @@ class SynonymStats:
     eviction_clears: int = 0
     #: Total extra cycles charged for all of the above.
     overhead_cycles: int = 0
+
+    INSTRUMENTS = {
+        "crossing_checks": "counter",
+        "crossing_copies": "counter",
+        "write_updates": "counter",
+        "eviction_clears": "counter",
+        "overhead_cycles": "counter",
+    }
 
     def snapshot(self):
         return dict(vars(self))

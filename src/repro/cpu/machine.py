@@ -37,6 +37,7 @@ from repro.cpu.tracebuffer import (
 from repro.geometry import CACHE_LINE_BYTES, WORD_BYTES
 from repro.memsim.request import MemRequest
 from repro.memsim.system import MemorySystem
+from repro.obs import tracer as obs
 
 _ORIENT_OBJS = (Orientation.ROW, Orientation.COLUMN, Orientation.GATHER)
 
@@ -62,6 +63,10 @@ class RunResult:
     #: Chunk remaps forced by uncorrectable errors during this statement
     #: (repro.reliability.recovery.DegradationEvent instances).
     degradation_events: list = field(default_factory=list)
+    #: Exported span tree for this statement (``Span.to_dict`` form),
+    #: populated by ``Database.execute`` when a tracer is installed
+    #: (see :mod:`repro.obs.tracer`); None when tracing is disabled.
+    spans: dict = None
 
     @property
     def coherence_overhead_ratio(self):
@@ -98,9 +103,28 @@ class Machine:
         order, it just precomputes everything that does not depend on
         cache or controller state (see ``tests/test_replay_equivalence``).
         """
-        if isinstance(trace, TraceBuffer):
-            return self._run_batched(trace.finalize())
-        return self._run_precise(trace)
+        with obs.span("machine.run") as sp:
+            if isinstance(trace, TraceBuffer):
+                result = self._run_batched(trace.finalize())
+            else:
+                result = self._run_precise(trace)
+            if sp.enabled:
+                mem = result.memory
+                sp.set(
+                    cycles=result.cycles,
+                    accesses=result.accesses,
+                    reads=result.reads,
+                    writes=result.writes,
+                    llc_misses=result.llc_misses,
+                    writebacks=result.writebacks,
+                    memory_accesses=mem["accesses"],
+                    orientation_mix={
+                        "row": mem["row_oriented"],
+                        "column": mem["col_oriented"],
+                        "gather": mem["gathers"],
+                    },
+                )
+            return result
 
     def _run_precise(self, trace) -> RunResult:
         result = RunResult()
@@ -165,7 +189,11 @@ class Machine:
         while outstanding:
             now = max(now, memory.completion_of(outstanding.popleft()))
         result.cycles = now
-        memory.drain()  # retire posted writes so statistics are complete
+        # Retire posted writes so statistics are complete.
+        with obs.span("controller.drain") as dsp:
+            drained_at = memory.drain()
+            if dsp.enabled:
+                dsp.set(end_cycles=drained_at, accesses=memory.stats.accesses)
         result.memory = memory.stats.snapshot()
         result.caches = hierarchy.stats_by_level()
         if hierarchy.synonym is not None:
@@ -365,7 +393,11 @@ class Machine:
         result.llc_misses = llc_misses
         result.writebacks = writebacks
         result.synonym_cycles = synonym_cycles
-        memory.drain()  # retire posted writes so statistics are complete
+        # Retire posted writes so statistics are complete.
+        with obs.span("controller.drain") as dsp:
+            drained_at = memory.drain()
+            if dsp.enabled:
+                dsp.set(end_cycles=drained_at, accesses=memory.stats.accesses)
         result.memory = memory.stats.snapshot()
         result.caches = hierarchy.stats_by_level()
         if hierarchy.synonym is not None:

@@ -3,7 +3,7 @@
 Results agreeing is necessary but not sufficient: an executor could
 produce the right rows while touching memory it does not own, or the
 timing model could drop accesses on the floor.  After every simulated
-statement the fuzz harness audits three layers:
+statement the fuzz harness audits four layers:
 
 * **geometry** — every traced row/column access decodes to a cell strip
   fully inside an allocated rectangle (a table chunk or an index), and
@@ -17,7 +17,11 @@ statement the fuzz harness audits three layers:
   LLC misses plus writebacks);
 * **retention** — flushing the hierarchy writes back exactly the dirty
   lines it reports and a second flush finds nothing, so no buffered
-  write is lost or duplicated (:func:`check_flush_conservation`).
+  write is lost or duplicated (:func:`check_flush_conservation`);
+* **observability** — when the statement ran under a tracer
+  (:mod:`repro.obs`), the exported span tree's metrics must agree with
+  the run result and memory statistics they annotate
+  (:func:`_check_spans`).
 """
 
 import numpy as np
@@ -88,7 +92,77 @@ def check_outcome(db, outcome):
         )
     problems.extend(stats.check_conservation())
     problems.extend(db.hierarchy.check_invariants())
+    problems.extend(_check_spans(timing))
     problems.extend(_check_geometry(db, trace))
+    return problems
+
+
+def _check_spans(timing):
+    """Span/counter consistency: the exported span tree (when the
+    statement ran under a tracer) must agree with the run result it
+    annotated — the observability layer reports the simulation, it does
+    not get to invent numbers."""
+    problems = []
+    spans = getattr(timing, "spans", None)
+    if spans is None:
+        return problems
+    if spans.get("name") != "query":
+        problems.append(f"root span named {spans.get('name')!r}, not 'query'")
+        return problems
+    root = spans.get("metrics", {})
+    for key, expected in (
+        ("cycles", timing.cycles),
+        ("accesses", timing.accesses),
+        ("memory_accesses", timing.memory["accesses"]),
+    ):
+        if root.get(key) != expected:
+            problems.append(
+                f"root span {key} {root.get(key)} != run result {expected}"
+            )
+    mix = root.get("orientation_mix", {})
+    oriented = (
+        timing.memory["row_oriented"], timing.memory["col_oriented"],
+        timing.memory["gathers"],
+    )
+    if (mix.get("row"), mix.get("column"), mix.get("gather")) != oriented:
+        problems.append(
+            f"span orientation mix {mix} != memory stats "
+            f"row/col/gather {oriented}"
+        )
+
+    def walk(node):
+        yield node
+        for child in node.get("children", ()):
+            yield from walk(child)
+
+    machine_spans = [n for n in walk(spans) if n.get("name") == "machine.run"]
+    if not machine_spans:
+        problems.append("span tree lacks a machine.run span")
+    for node in machine_spans:
+        metrics = node.get("metrics", {})
+        for key, expected in (
+            ("cycles", timing.cycles),
+            ("accesses", timing.accesses),
+            ("reads", timing.reads),
+            ("writes", timing.writes),
+            ("llc_misses", timing.llc_misses),
+            ("writebacks", timing.writebacks),
+        ):
+            if metrics.get(key) != expected:
+                problems.append(
+                    f"machine.run span {key} {metrics.get(key)} != "
+                    f"run result {expected}"
+                )
+    # Nesting sanity: children's wall intervals lie within the parent's.
+    for node in walk(spans):
+        wall = node.get("wall_ms")
+        for child in node.get("children", ()):
+            child_wall = child.get("wall_ms")
+            if wall is not None and child_wall is not None and child_wall > wall + 1e-6:
+                problems.append(
+                    f"span {child.get('name')!r} wall {child_wall}ms exceeds "
+                    f"parent {node.get('name')!r} wall {wall}ms"
+                )
     return problems
 
 

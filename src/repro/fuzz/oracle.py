@@ -29,6 +29,7 @@ from repro.fuzz.grammar import render_sql, statement_fields
 from repro.harness.systems import SMALL_CACHE_CONFIG, build_system
 from repro.imdb.database import Database
 from repro.imdb.sql_parser import parse
+from repro.obs import tracer as obs
 
 
 @dataclass(frozen=True)
@@ -363,7 +364,15 @@ def run_case(case, configs=None, check_invariants=True):
         for config in configs:
             db = dbs[config.key]
             try:
-                outcome = db.execute(sql, params=params)
+                if check_invariants:
+                    # Trace the statement so invariants.check_outcome can
+                    # also audit span/counter consistency (the
+                    # observability layer is under test like everything
+                    # else).
+                    with obs.tracing():
+                        outcome = db.execute(sql, params=params)
+                else:
+                    outcome = db.execute(sql, params=params)
             except SqlError as exc:
                 if not stmt.get("expect_error"):
                     problems.append(

@@ -7,9 +7,12 @@ Installed as ``rcnvm-experiments``::
     rcnvm-experiments fig18 --scale 0.5
     rcnvm-experiments all --small --scale 0.25
     rcnvm-experiments fuzz --seed 0 --iterations 200
+    rcnvm-experiments profile --query q7 --system rcnvm
 
-The ``fuzz`` subcommand has its own flags and dispatches to
-:mod:`repro.fuzz.cli` (differential SQL fuzzing; see EXPERIMENTS.md).
+The ``fuzz`` and ``profile`` subcommands have their own flags and
+dispatch to :mod:`repro.fuzz.cli` (differential SQL fuzzing) and
+:mod:`repro.harness.profiling` (query-scoped tracing spans + metric
+tables; see EXPERIMENTS.md).
 """
 
 import argparse
@@ -130,6 +133,10 @@ def main(argv=None):
         from repro.fuzz.cli import main as fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.harness.profiling import main as profile_main
+
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rcnvm-experiments",
         description="Regenerate the RC-NVM paper's tables and figures.",
@@ -138,7 +145,7 @@ def main(argv=None):
         "experiments",
         nargs="*",
         help=f"which to run: {', '.join(EXPERIMENTS)}, or 'all' "
-             "(or the 'fuzz' subcommand, which takes its own flags)",
+             "(or the 'fuzz'/'profile' subcommands, which take their own flags)",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--scale", type=float, default=1.0,

@@ -188,15 +188,42 @@ def check_regression(report, baseline_path, max_regression=0.25):
         failures.append(
             f"equivalence oracle failed on {report['equivalence']['mismatched']}"
         )
-    with open(baseline_path) as handle:
-        baseline = json.load(handle)
-    floor = baseline["replay_after_batched"]["accesses_per_sec"] * (1 - max_regression)
+    # A broken baseline must produce a readable gate failure, not a
+    # KeyError/FileNotFoundError traceback in the CI log.
+    try:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+    except OSError as exc:
+        failures.append(
+            f"baseline {baseline_path!r} could not be read ({exc}); "
+            "regenerate it with `python -m repro.harness.perfbench "
+            f"--out {baseline_path}`"
+        )
+        return failures
+    except json.JSONDecodeError as exc:
+        failures.append(f"baseline {baseline_path!r} is not valid JSON: {exc}")
+        return failures
+    try:
+        base_rate = baseline["replay_after_batched"]["accesses_per_sec"]
+    except (KeyError, TypeError):
+        failures.append(
+            f"baseline {baseline_path!r} lacks "
+            "replay_after_batched.accesses_per_sec; regenerate it with "
+            "`python -m repro.harness.perfbench`"
+        )
+        return failures
+    if not isinstance(base_rate, (int, float)) or base_rate <= 0:
+        failures.append(
+            f"baseline {baseline_path!r} has unusable "
+            f"replay_after_batched.accesses_per_sec = {base_rate!r}"
+        )
+        return failures
+    floor = base_rate * (1 - max_regression)
     measured = report["replay_after_batched"]["accesses_per_sec"]
     if measured < floor:
         failures.append(
             f"batched replay regressed: {measured} accesses/sec < "
-            f"{floor:.0f} (baseline {baseline['replay_after_batched']['accesses_per_sec']} "
-            f"- {max_regression:.0%})"
+            f"{floor:.0f} (baseline {base_rate} - {max_regression:.0%})"
         )
     return failures
 

@@ -31,6 +31,7 @@ from repro.imdb.schema import Schema
 from repro.imdb.sql_parser import parse
 from repro.imdb.table import Table
 from repro.memsim.system import MemorySystem
+from repro.obs import tracer as obs
 
 
 @dataclass
@@ -288,27 +289,45 @@ class Database:
         ``verify`` flag) cross-checks the result against the naive
         reference engine.
         """
-        statement = parse(sql)
-        plan = self.planner.plan(
-            statement,
-            params=params,
-            selectivity_hint=selectivity_hint,
-            group_lines=group_lines,
-        )
-        verify = self.verify if verify is None else verify
-        # Snapshot before the reference pass: its functional reads run the
-        # same ECC demand checks, so recovery can fire there too.
-        events_before = len(self.degradation_events)
-        expected = self.reference.execute(statement, params) if verify else None
-        result, trace = self.executor.execute(plan)
-        if expected is not None:
-            _check_result(sql, result, expected)
-        timing = None
-        if simulate:
-            if fresh_timing:
-                self.reset_timing()
-            timing = self.machine.run(trace)
-            timing.degradation_events = self.degradation_events[events_before:]
+        with obs.span("query", sql=sql, system=self.memory.name) as qsp:
+            statement = parse(sql)
+            plan = self.planner.plan(
+                statement,
+                params=params,
+                selectivity_hint=selectivity_hint,
+                group_lines=group_lines,
+            )
+            verify = self.verify if verify is None else verify
+            # Snapshot before the reference pass: its functional reads run the
+            # same ECC demand checks, so recovery can fire there too.
+            events_before = len(self.degradation_events)
+            expected = self.reference.execute(statement, params) if verify else None
+            result, trace = self.executor.execute(plan)
+            if expected is not None:
+                _check_result(sql, result, expected)
+            timing = None
+            if simulate:
+                if fresh_timing:
+                    self.reset_timing()
+                timing = self.machine.run(trace)
+                timing.degradation_events = self.degradation_events[events_before:]
+            if qsp.enabled:
+                qsp.set(trace_length=len(trace))
+                if timing is not None:
+                    mem = timing.memory
+                    qsp.set(
+                        cycles=timing.cycles,
+                        accesses=timing.accesses,
+                        memory_accesses=mem["accesses"],
+                        orientation_mix={
+                            "row": mem["row_oriented"],
+                            "column": mem["col_oriented"],
+                            "gather": mem["gathers"],
+                        },
+                    )
+        # Exported after __exit__ so the root span's wall time is final.
+        if timing is not None and qsp.enabled:
+            timing.spans = qsp.to_dict()
         return ExecutionOutcome(
             sql=sql,
             result=result,

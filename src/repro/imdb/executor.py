@@ -20,6 +20,7 @@ from repro.cpu.tracebuffer import TraceBuffer
 from repro.errors import LayoutError, SqlError
 from repro.geometry import CACHE_LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
 from repro.imdb.chunks import IntraLayout, Run
+from repro.obs import tracer as obs
 from repro.imdb.planner import (
     AggregatePlan,
     FetchMethod,
@@ -70,20 +71,23 @@ class Executor:
         columnar drop-in for ``List[Access]`` that the machine models
         replay through their batched fast path."""
         trace = TraceBuffer()
-        if isinstance(plan, FilterFetchPlan):
-            result = self._run_filter_fetch(plan, trace)
-        elif isinstance(plan, AggregatePlan):
-            result = self._run_aggregate(plan, trace)
-        elif isinstance(plan, WideAggregatePlan):
-            result = self._run_wide_aggregate(plan, trace)
-        elif isinstance(plan, OrderedProjectionPlan):
-            result = self._run_ordered_projection(plan, trace)
-        elif isinstance(plan, JoinPlan):
-            result = self._run_join(plan, trace)
-        elif isinstance(plan, UpdatePlan):
-            result = self._run_update(plan, trace)
-        else:
-            raise SqlError(f"executor cannot run {type(plan).__name__}")
+        with obs.span(f"operator:{type(plan).__name__}") as sp:
+            if isinstance(plan, FilterFetchPlan):
+                result = self._run_filter_fetch(plan, trace)
+            elif isinstance(plan, AggregatePlan):
+                result = self._run_aggregate(plan, trace)
+            elif isinstance(plan, WideAggregatePlan):
+                result = self._run_wide_aggregate(plan, trace)
+            elif isinstance(plan, OrderedProjectionPlan):
+                result = self._run_ordered_projection(plan, trace)
+            elif isinstance(plan, JoinPlan):
+                result = self._run_join(plan, trace)
+            elif isinstance(plan, UpdatePlan):
+                result = self._run_update(plan, trace)
+            else:
+                raise SqlError(f"executor cannot run {type(plan).__name__}")
+            if sp.enabled:
+                sp.set(trace_accesses=len(trace), result_kind=result.kind)
         return result, trace
 
     # -- address helpers ---------------------------------------------------------

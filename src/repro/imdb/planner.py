@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import LayoutError, SqlError
 from repro.imdb.chunks import IntraLayout
+from repro.obs import tracer as obs
 from repro.imdb.sql_ast import (
     Aggregate,
     ColumnRef,
@@ -167,11 +168,18 @@ class Planner:
     # -- public entry ---------------------------------------------------------
     def plan(self, statement, params=None, selectivity_hint=None, group_lines=None):
         params = params or {}
-        if isinstance(statement, Select):
-            return self._plan_select(statement, params, selectivity_hint, group_lines)
-        if isinstance(statement, Update):
-            return self._plan_update(statement, params)
-        raise SqlError(f"cannot plan {type(statement).__name__}")
+        with obs.span("plan", statement=type(statement).__name__) as sp:
+            if isinstance(statement, Select):
+                plan = self._plan_select(
+                    statement, params, selectivity_hint, group_lines
+                )
+            elif isinstance(statement, Update):
+                plan = self._plan_update(statement, params)
+            else:
+                raise SqlError(f"cannot plan {type(statement).__name__}")
+            if sp.enabled:
+                sp.set(plan=type(plan).__name__)
+            return plan
 
     # -- helpers ---------------------------------------------------------------
     @property

@@ -20,7 +20,15 @@ class LatencyHistogram:
         self.count = 0
 
     def record(self, latency_cycles):
-        bucket = int(latency_cycles).bit_length()
+        latency_cycles = int(latency_cycles)
+        if latency_cycles < 0:
+            # bit_length() of a negative int is the magnitude's, so -5
+            # would silently land in bucket 3 ([4, 8)); a negative
+            # latency is always an accounting bug upstream.
+            raise ValueError(
+                f"negative latency {latency_cycles} cannot be recorded"
+            )
+        bucket = latency_cycles.bit_length()
         self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
         self.count += 1
 
@@ -33,9 +41,18 @@ class LatencyHistogram:
         return result
 
     def percentile(self, pct):
-        """Upper bound (cycles) of the bucket containing the pct-th request."""
+        """Upper bound (cycles) of the bucket containing the pct-th request.
+
+        ``percentile(0)`` is the distribution's minimum: the *lower*
+        bound of the smallest occupied bucket (the first-crossing rule
+        would report that bucket's upper bound, overstating the minimum
+        by up to 2x).
+        """
         if not self.count:
             return 0
+        if pct <= 0:
+            low = min(self.buckets)
+            return 0 if low == 0 else 1 << (low - 1)
         threshold = pct / 100.0 * self.count
         seen = 0
         for bucket in sorted(self.buckets):
@@ -118,6 +135,39 @@ class MemoryStats:
     scrub_cycles: int = 0
     #: End-to-end request latency distribution (completion - arrival).
     latency_hist: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    #: Typed instrument declaration consumed by the metrics registry
+    #: (:func:`repro.obs.metrics.bind_stats`): every dataclass field,
+    #: classified as counter (monotone totals), gauge (high-water marks
+    #: and other non-monotone values) or histogram.  Keys mirror the
+    #: field names, so ``snapshot()`` output is unchanged by the
+    #: migration; a test pins the two in sync.
+    INSTRUMENTS = {
+        "reads": "counter",
+        "writes": "counter",
+        "buffer_hits": "counter",
+        "buffer_empty_misses": "counter",
+        "buffer_conflicts": "counter",
+        "orientation_switches": "counter",
+        "dirty_flushes": "counter",
+        "activations": "counter",
+        "buffer_closes": "counter",
+        "bus_busy_cycles": "counter",
+        "total_latency_cycles": "counter",
+        "row_oriented": "counter",
+        "col_oriented": "counter",
+        "gathers": "counter",
+        "write_drain_episodes": "counter",
+        "starvation_cap_hits": "counter",
+        "max_bypass": "gauge",
+        "queue_occupancy_sum": "counter",
+        "queue_occupancy_samples": "counter",
+        "max_queue_occupancy": "gauge",
+        "max_bank_queue_occupancy": "gauge",
+        "scrub_reads": "counter",
+        "scrub_cycles": "counter",
+        "latency_hist": "histogram",
+    }
 
     @property
     def accesses(self):
@@ -234,3 +284,9 @@ class BankStats:
     accesses: int = 0
     activations: int = 0
     busy_cycles: int = 0
+
+    INSTRUMENTS = {
+        "accesses": "counter",
+        "activations": "counter",
+        "busy_cycles": "counter",
+    }

@@ -1,0 +1,55 @@
+"""Unified observability layer: tracing spans and a metrics registry.
+
+Two complementary substrates (in the spirit of gem5's stats framework):
+
+* :mod:`repro.obs.tracer` — nestable, query-scoped spans
+  (``query -> plan -> operator -> machine.run -> controller.drain``)
+  carrying wall time plus whatever simulation metrics the instrumented
+  code attaches (cycles, access counts, orientation mix).  Zero cost
+  when no tracer is installed: the module-level :func:`span` hook then
+  returns a shared no-op context manager.
+* :mod:`repro.obs.metrics` — typed Counter/Gauge/Histogram instruments
+  with labels (system, channel, bank, orientation, cache level), onto
+  which the existing ad-hoc counter blocks (``MemoryStats``,
+  ``CacheStats``, ``SynonymStats`` and the scheduler telemetry inside
+  ``MemoryStats``) are bound as live sources without changing their
+  public ``snapshot()`` keys.
+"""
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    active,
+    install,
+    span,
+    tracing,
+    uninstall,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    bind_stats,
+    registry_for_database,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "active",
+    "install",
+    "span",
+    "tracing",
+    "uninstall",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "bind_stats",
+    "registry_for_database",
+]

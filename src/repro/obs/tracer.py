@@ -1,0 +1,228 @@
+"""Span-based tracer: nestable, zero-cost-when-disabled query spans.
+
+Instrumented code calls the module-level :func:`span` hook::
+
+    with obs.span("machine.run") as sp:
+        result = run(...)
+        if sp.enabled:
+            sp.set(cycles=result.cycles)
+
+With no tracer installed the hook returns :data:`NULL_SPAN`, a shared
+stateless no-op context manager, so the disabled cost is one global read
+plus the ``with`` statement.  Installing a :class:`Tracer` (usually via
+the :func:`tracing` context manager) records a tree of :class:`Span`
+objects carrying wall time and any attached simulation metrics, and can
+export the tree as plain JSON or as a Chrome-trace (``about:tracing`` /
+Perfetto) event file for flamegraph viewing.
+
+Spans deliberately do not sample anything themselves: the instrumented
+site attaches exactly the numbers it already has (simulated cycles,
+access counts, orientation mix), so tracing never perturbs the
+simulation it measures.
+"""
+
+import time
+from contextlib import contextmanager
+
+
+class Span:
+    """One node of the span tree."""
+
+    __slots__ = ("name", "attrs", "metrics", "children", "start_wall", "end_wall")
+
+    #: Real spans are live; sites guard expensive metric computation on it.
+    enabled = True
+
+    def __init__(self, name, attrs=None):
+        self.name = name
+        self.attrs = dict(attrs or {})
+        self.metrics = {}
+        self.children = []
+        self.start_wall = None
+        self.end_wall = None
+
+    def set(self, **metrics):
+        """Attach (or overwrite) metric values on this span."""
+        self.metrics.update(metrics)
+
+    @property
+    def wall_seconds(self):
+        if self.start_wall is None or self.end_wall is None:
+            return None
+        return self.end_wall - self.start_wall
+
+    def walk(self):
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name):
+        """First span named ``name`` in this subtree, or None."""
+        for candidate in self.walk():
+            if candidate.name == name:
+                return candidate
+        return None
+
+    def to_dict(self):
+        """JSON-ready nested representation (the exported span schema)."""
+        wall = self.wall_seconds
+        return {
+            "name": self.name,
+            "wall_ms": None if wall is None else round(wall * 1e3, 6),
+            "attrs": dict(self.attrs),
+            "metrics": dict(self.metrics),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self):
+        return f"Span({self.name!r}, {len(self.children)} children)"
+
+
+class _NullSpan:
+    """Shared no-op stand-in used whenever tracing is disabled.
+
+    Stateless, hence safely reentrant: every ``with obs.span(...)`` in a
+    disabled process enters and exits this same singleton.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def set(self, **metrics):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on a tracer's stack."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer, span):
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self):
+        span = self.span
+        tracer = self.tracer
+        span.start_wall = time.perf_counter()
+        stack = tracer._stack
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            tracer.roots.append(span)
+        stack.append(span)
+        return span
+
+    def __exit__(self, *exc):
+        self.span.end_wall = time.perf_counter()
+        self.tracer._stack.pop()
+        return False
+
+
+class Tracer:
+    """Collects a forest of spans (one root per traced query)."""
+
+    def __init__(self):
+        self.roots = []
+        self._stack = []
+
+    def span(self, name, **attrs):
+        return _SpanContext(self, Span(name, attrs))
+
+    @property
+    def current(self):
+        return self._stack[-1] if self._stack else None
+
+    def clear(self):
+        self.roots = []
+        self._stack = []
+
+    def to_dict(self):
+        return {"spans": [root.to_dict() for root in self.roots]}
+
+    def to_chrome_trace(self):
+        """The span forest as a Chrome-trace ("Trace Event Format") dict.
+
+        Complete events (``ph: "X"``) with microsecond timestamps
+        relative to the earliest root; loads directly in
+        ``about:tracing`` and Perfetto, nesting restored from ts/dur.
+        """
+        events = []
+        starts = [r.start_wall for r in self.roots if r.start_wall is not None]
+        base = min(starts) if starts else 0.0
+        for depth, root in enumerate(self.roots):
+            for sp in root.walk():
+                if sp.start_wall is None:
+                    continue
+                end = sp.end_wall if sp.end_wall is not None else sp.start_wall
+                events.append(
+                    {
+                        "name": sp.name,
+                        "cat": "repro",
+                        "ph": "X",
+                        "ts": round((sp.start_wall - base) * 1e6, 3),
+                        "dur": round((end - sp.start_wall) * 1e6, 3),
+                        "pid": 1,
+                        "tid": 1,
+                        "args": {**sp.attrs, **sp.metrics},
+                    }
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+#: The installed tracer (None = tracing disabled, the default).
+_ACTIVE = None
+
+
+def active():
+    """The currently installed tracer, or None when disabled."""
+    return _ACTIVE
+
+
+def install(tracer=None) -> Tracer:
+    """Install (and return) a tracer as the process-wide active one."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def uninstall():
+    """Disable tracing (restores the zero-cost path)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def tracing(tracer=None):
+    """Scoped enablement: install a tracer, restore the previous on exit.
+
+    >>> with tracing() as tracer:
+    ...     outcome = db.execute(sql)
+    >>> tracer.roots[0].name
+    'query'
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+def span(name, **attrs):
+    """Open a span on the active tracer; no-op when tracing is disabled."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)

@@ -33,15 +33,103 @@ class TestReport:
 
     def test_normalize(self):
         assert report.normalize([2, 4], 2) == [1.0, 2.0]
-        assert report.normalize([2], 0) == [0.0]
+
+    def test_normalize_distinguishes_missing_from_zero_baseline(self):
+        """A missing baseline is a caller bug; a measured-zero baseline
+        makes the ratios NaN (they used to collapse to silent 0.0)."""
+        import math
+
+        with pytest.raises(ValueError):
+            report.normalize([2], None)
+        assert all(math.isnan(v) for v in report.normalize([2, 4], 0))
 
     def test_speedup(self):
         assert report.speedup(100, 50) == 2.0
         assert report.speedup(1, 0) == float("inf")
 
+    def test_speedup_zero_over_zero_is_unity(self):
+        """Regression: speedup(0, 0) returned inf (0/0 guarded wrong);
+        two zero-cycle runs are equal, not infinitely faster."""
+        assert report.speedup(0, 0) == 1.0
+
     def test_geometric_mean(self):
         assert report.geometric_mean([2, 8]) == pytest.approx(4.0)
-        assert report.geometric_mean([]) == 0.0
+
+    def test_geometric_mean_zero_propagates(self):
+        """Figure 18-style regression: one system scoring 0 must drag the
+        geomean to exactly 0.0.  The old version dropped zeros from both
+        the product and the count, so (0, 2, 8) reported 4.0 — a wildly
+        inflated suite-level speedup."""
+        assert report.geometric_mean([0.0, 2.0, 8.0]) == 0.0
+        assert report.geometric_mean([1.4, 0.0, 2.3, 1.1]) == 0.0
+
+    def test_geometric_mean_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            report.geometric_mean([])
+        with pytest.raises(ValueError):
+            report.geometric_mean([2.0, -1.0])
+
+
+class TestCheckRegression:
+    """check_regression must fail loudly, never raise, on bad baselines."""
+
+    @staticmethod
+    def _report(rate=1000, mismatches=0):
+        return {
+            "equivalence": {"mismatches": mismatches, "mismatched": []},
+            "replay_after_batched": {"accesses_per_sec": rate},
+        }
+
+    def test_missing_baseline_file_is_a_failure_not_an_exception(self, tmp_path):
+        from repro.harness.perfbench import check_regression
+
+        failures = check_regression(self._report(), tmp_path / "absent.json")
+        assert len(failures) == 1
+        assert "could not be read" in failures[0]
+        assert "regenerate" in failures[0]
+
+    def test_invalid_json_baseline(self, tmp_path):
+        from repro.harness.perfbench import check_regression
+
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        failures = check_regression(self._report(), path)
+        assert failures and "not valid JSON" in failures[0]
+
+    def test_baseline_missing_keys(self, tmp_path):
+        import json
+
+        from repro.harness.perfbench import check_regression
+
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"meta": {}}))
+        failures = check_regression(self._report(), path)
+        assert failures and "replay_after_batched.accesses_per_sec" in failures[0]
+
+    def test_baseline_unusable_rate(self, tmp_path):
+        import json
+
+        from repro.harness.perfbench import check_regression
+
+        path = tmp_path / "zero.json"
+        path.write_text(
+            json.dumps({"replay_after_batched": {"accesses_per_sec": 0}})
+        )
+        failures = check_regression(self._report(), path)
+        assert failures and "unusable" in failures[0]
+
+    def test_good_baseline_passes_and_gates(self, tmp_path):
+        import json
+
+        from repro.harness.perfbench import check_regression
+
+        path = tmp_path / "base.json"
+        path.write_text(
+            json.dumps({"replay_after_batched": {"accesses_per_sec": 1000}})
+        )
+        assert check_regression(self._report(rate=990), path) == []
+        failures = check_regression(self._report(rate=100), path)
+        assert failures and "regressed" in failures[0]
 
 
 class TestStaticFigures:

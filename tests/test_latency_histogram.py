@@ -1,0 +1,90 @@
+"""LatencyHistogram binning and percentile semantics.
+
+Pins two reporting-math fixes:
+
+* ``record`` rejects negative latencies — ``int(-5).bit_length()`` is 3,
+  so a negative latency used to land silently in the [4, 8) bucket and
+  corrupt every percentile downstream;
+* ``percentile(0)`` reports the distribution's minimum (the lower bound
+  of the smallest occupied bucket), not the first-crossing bucket's
+  upper bound, which overstated the minimum by up to 2x.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memsim.stats import LatencyHistogram
+
+
+class TestRecord:
+    def test_rejects_negative_latency(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError, match="negative latency"):
+            hist.record(-5)
+        assert hist.count == 0 and hist.buckets == {}
+
+    def test_zero_and_positive_bin_by_bit_length(self):
+        hist = LatencyHistogram()
+        for latency, bucket in ((0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3)):
+            hist.record(latency)
+            assert bucket in hist.buckets
+
+    @given(st.integers(min_value=-(2**40), max_value=-1))
+    def test_any_negative_rejected(self, latency):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.record(latency)
+        assert hist.count == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1))
+    def test_counts_conserved(self, latencies):
+        hist = LatencyHistogram()
+        for latency in latencies:
+            hist.record(latency)
+        assert hist.count == len(latencies)
+        assert sum(hist.buckets.values()) == len(latencies)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert LatencyHistogram().percentile(0) == 0
+        assert LatencyHistogram().percentile(99) == 0
+
+    def test_p0_is_minimum_bucket_lower_bound(self):
+        """Regression: one sample of 5 lives in bucket 3 = [4, 8);
+        percentile(0) must report the bucket's lower bound 4, where the
+        first-crossing rule reported 7."""
+        hist = LatencyHistogram()
+        hist.record(5)
+        assert hist.percentile(0) == 4
+        assert hist.percentile(100) == 7
+
+    def test_p0_with_zero_latency(self):
+        hist = LatencyHistogram()
+        hist.record(0)
+        hist.record(100)
+        assert hist.percentile(0) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**30), min_size=1))
+    def test_p0_lower_bounds_every_sample(self, latencies):
+        """percentile(0) is a valid lower bound: <= every recorded
+        latency, and never below the smallest bucket's floor."""
+        hist = LatencyHistogram()
+        for latency in latencies:
+            hist.record(latency)
+        minimum = hist.percentile(0)
+        assert minimum <= min(latencies)
+        low = min(hist.buckets)
+        assert minimum == (0 if low == 0 else 1 << (low - 1))
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**30), min_size=1),
+           st.integers(min_value=1, max_value=100))
+    def test_percentiles_monotone_and_bounded(self, latencies, pct):
+        hist = LatencyHistogram()
+        for latency in latencies:
+            hist.record(latency)
+        value = hist.percentile(pct)
+        assert hist.percentile(0) <= value <= hist.percentile(100)
+        # The p100 bucket's upper bound covers the true maximum.
+        assert hist.percentile(100) >= max(latencies)
