@@ -417,26 +417,38 @@ class Machine:
             key_address(key), orientation, access.is_write, arrival
         )
 
-    def flush_caches(self, now=0):
+    def flush_caches(self, now=0, on_line=None):
         """Write every dirty cached line back to memory and drain it.
 
         Used between benchmark phases (e.g. before a reliability fault
-        campaign samples wear) so buffered writes reach the cell arrays.
-        Returns the number of lines written back."""
+        campaign samples wear) and as the durability persistence barrier
+        so buffered writes reach the cell arrays.  Returns the number of
+        lines actually written back — gather-orientation lines are
+        read-only snapshots and post no write, so they are not counted.
+        ``on_line`` (if given) is called with the running count after
+        each posted writeback; it may raise to model a crash mid-flush."""
         dirty = self.hierarchy.flush()
+        flushed = 0
         for key in dirty:
-            self._writeback(key, now)
+            if self._writeback(key, now) is not None:
+                flushed += 1
+                if on_line is not None:
+                    on_line(flushed)
         self.memory.drain()
         self.memory.flush_buffers()
-        return len(dirty)
+        return flushed
 
     def _writeback(self, key, now):
-        """Post a dirty-victim write to memory (the core does not block)."""
+        """Post a dirty-victim write to memory (the core does not block).
+
+        Returns the posted request, or ``None`` for gather lines (which
+        are read-only snapshots of row data and never written back)."""
         orientation = key_orientation(key)
         if orientation is Orientation.GATHER:
-            # Gathered lines are read-only snapshots of row data.
-            return
-        self.memory.request_for_line(key_address(key), orientation, True, now)
+            return None
+        return self.memory.request_for_line(
+            key_address(key), orientation, True, now
+        )
 
     def _unpin_range(self, access):
         first_line = access.address // CACHE_LINE_BYTES

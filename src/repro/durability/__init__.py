@@ -1,0 +1,53 @@
+"""Durability and crash recovery for the simulated NVM database.
+
+RC-NVM is a *persistent* main memory, so committed work must survive a
+crash.  This package adds:
+
+* a write-ahead log (:mod:`repro.durability.wal`) living in simulated
+  NVM space — typed, checksummed records encoded as int64 cell words in
+  an allocator-placed rectangle, written through the normal trace path;
+* an epoch persistence barrier (:mod:`repro.durability.manager`) built
+  on :meth:`~repro.cpu.machine.Machine.flush_caches`: a statement only
+  commits once its dirty cache lines reach the cell arrays and a commit
+  marker record is durable;
+* a deterministic, seeded crash-point injector
+  (:mod:`repro.durability.crash`) that kills execution at named sites by
+  raising :class:`SimulatedCrash`;
+* a :func:`recover` path (:mod:`repro.durability.recovery`) that
+  rebuilds :class:`~repro.imdb.database.Database` state from the
+  surviving cell-array bytes plus WAL replay of the committed prefix.
+"""
+
+from repro.durability.crash import CRASH_SITES, CrashInjector, SimulatedCrash
+from repro.durability.manager import DurabilityManager, DurabilityReceipt
+from repro.durability.recovery import RecoveryReport, recover
+from repro.durability.wal import (
+    RecordType,
+    WalError,
+    WalFullError,
+    WalReader,
+    WalRecord,
+    WalRegion,
+    WalWriter,
+    decode_record,
+    encode_record,
+)
+
+__all__ = [
+    "CRASH_SITES",
+    "CrashInjector",
+    "SimulatedCrash",
+    "DurabilityManager",
+    "DurabilityReceipt",
+    "RecoveryReport",
+    "recover",
+    "RecordType",
+    "WalError",
+    "WalFullError",
+    "WalReader",
+    "WalRecord",
+    "WalRegion",
+    "WalWriter",
+    "decode_record",
+    "encode_record",
+]

@@ -14,6 +14,7 @@ import argparse
 import sys
 import time
 
+from repro.fuzz.crashes import replay_corpus_with_crashes, run_crash_fuzz
 from repro.fuzz.oracle import CONFIGS
 from repro.fuzz.runner import replay_corpus, run_fuzz
 
@@ -47,11 +48,21 @@ def main(argv=None):
                         help="stop after this many failing cases (default 3)")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report raw failing cases without minimizing")
+    parser.add_argument("--crash", action="store_true",
+                        help="kill-and-recover mode: run cases on durable "
+                             "RC-NVM stacks with a seeded crash injector and "
+                             "check recovered state against sqlite's "
+                             "committed prefix")
     args = parser.parse_args(argv)
 
     start = time.time()
     if args.corpus:
-        failures = replay_corpus(args.corpus, config_keys=args.configs)
+        if args.crash:
+            failures = replay_corpus_with_crashes(
+                args.corpus, config_keys=args.configs
+            )
+        else:
+            failures = replay_corpus(args.corpus, config_keys=args.configs)
         elapsed = time.time() - start
         if failures:
             for name, problems in failures.items():
@@ -65,6 +76,19 @@ def main(argv=None):
         return 0
 
     iterations = min(args.iterations, 25) if args.smoke else args.iterations
+    if args.crash:
+        report = run_crash_fuzz(
+            seed=args.seed,
+            iterations=iterations,
+            config_keys=args.configs,
+            save_dir=args.save,
+            shrink=not args.no_shrink,
+            max_failures=args.max_failures,
+            progress=print,
+        )
+        print(report.summary())
+        print(f"[{report.iterations} cases in {time.time() - start:.1f}s]")
+        return 0 if report.ok else 1
     report = run_fuzz(
         seed=args.seed,
         iterations=iterations,

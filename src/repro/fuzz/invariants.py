@@ -42,6 +42,11 @@ def allocated_rectangles(db):
         placements += [idx.placement for idx in table.ordered_indexes.values()]
         for p in placements:
             rects.append((p.bin_index, p.y, p.y + p.height, p.x, p.x + p.width))
+    durability = getattr(db, "durability", None)
+    if durability is not None:
+        # The WAL rectangle is database-owned memory too: traced WAL
+        # appends must land inside it, nothing else may.
+        rects.extend(durability.rects())
     return rects
 
 

@@ -8,11 +8,13 @@ Installed as ``rcnvm-experiments``::
     rcnvm-experiments all --small --scale 0.25
     rcnvm-experiments fuzz --seed 0 --iterations 200
     rcnvm-experiments profile --query q7 --system rcnvm
+    rcnvm-experiments recover --smoke
 
-The ``fuzz`` and ``profile`` subcommands have their own flags and
-dispatch to :mod:`repro.fuzz.cli` (differential SQL fuzzing) and
+The ``fuzz``, ``profile``, and ``recover`` subcommands have their own
+flags and dispatch to :mod:`repro.fuzz.cli` (differential SQL fuzzing),
 :mod:`repro.harness.profiling` (query-scoped tracing spans + metric
-tables; see EXPERIMENTS.md).
+tables), and :mod:`repro.harness.recover` (durability crash-site sweep;
+see EXPERIMENTS.md).
 """
 
 import argparse
@@ -137,6 +139,10 @@ def main(argv=None):
         from repro.harness.profiling import main as profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "recover":
+        from repro.harness.recover import main as recover_main
+
+        return recover_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rcnvm-experiments",
         description="Regenerate the RC-NVM paper's tables and figures.",

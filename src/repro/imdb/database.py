@@ -47,6 +47,9 @@ class ExecutionOutcome:
     #: conformance checks (repro.fuzz.invariants) can audit every access
     #: against chunk geometry after the fact.
     trace: object = None
+    #: :class:`~repro.durability.manager.DurabilityReceipt` when the
+    #: statement logged writes and committed durably, else None.
+    durability: object = None
 
     @property
     def cycles(self):
@@ -63,9 +66,14 @@ class Database:
         window: int = 8,
         default_group_lines: int = 0,
         verify: bool = False,
+        physmem: Optional[PhysicalMemory] = None,
     ):
         self.memory = memory
-        self.physmem = PhysicalMemory(memory.geometry)
+        #: ``physmem`` may be shared with a crashed predecessor: crash
+        #: recovery builds a fresh Database over the *surviving* cells.
+        self.physmem = physmem if physmem is not None else PhysicalMemory(
+            memory.geometry
+        )
         self.allocator = SubarrayAllocator(
             memory.geometry, allow_rotation=memory.supports_column
         )
@@ -82,6 +90,8 @@ class Database:
         #: Reliability pipeline (None until :meth:`enable_reliability`).
         self.ecc = None
         self.scrubber = None
+        #: Durability manager (None until :meth:`enable_durability`).
+        self.durability = None
         #: Every chunk remap forced by an uncorrectable error, in order.
         self.degradation_events = []
         self.reset_timing()
@@ -100,6 +110,33 @@ class Database:
         self.hierarchy = make_hierarchy(synonym=synonym, **self.cache_config)
         self.machine = Machine(self.memory, self.hierarchy, window=self.window)
 
+    # -- durability ---------------------------------------------------------------
+    def enable_durability(self, wal_rows=None, injector=None):
+        """Reserve the write-ahead log and turn on durable commits.
+
+        Must be called *before* any table is created: the WAL rectangle
+        is the allocator's first placement, which is what makes
+        recovery's replayed placements land exactly where the crashed
+        database put them.  Returns the
+        :class:`~repro.durability.manager.DurabilityManager`.
+        """
+        from repro.durability.manager import DurabilityManager
+
+        if self.durability is not None:
+            return self.durability
+        if self.tables:
+            raise LayoutError(
+                "enable_durability must run before any table is created "
+                "(the WAL placement anchors recovery's allocator replay)"
+            )
+        self.durability = DurabilityManager(self, wal_rows=wal_rows)
+        self.durability.injector = injector
+        if self.scrubber is not None:
+            self.scrubber.crash_hook = (
+                lambda: self.durability.crash_point("mid-scrub")
+            )
+        return self.durability
+
     # -- reliability --------------------------------------------------------------
     def enable_reliability(self, scrub_cycle_budget=None):
         """Protect every table with SECDED ECC and attach a scrubber.
@@ -116,6 +153,10 @@ class Database:
             self.scrubber = ScrubScheduler(
                 self.ecc, self.memory, cycle_budget=scrub_cycle_budget
             )
+            if self.durability is not None:
+                self.scrubber.crash_hook = (
+                    lambda: self.durability.crash_point("mid-scrub")
+                )
         elif scrub_cycle_budget is not None:
             self.scrubber.cycle_budget = scrub_cycle_budget
         for table in self.tables.values():
@@ -131,7 +172,10 @@ class Database:
         through it too."""
         from repro.reliability.recovery import DegradationEvent
 
-        old, new = table.remap_chunk(chunk)
+        crash_point = None
+        if self.durability is not None:
+            crash_point = lambda: self.durability.crash_point("during-remap")
+        old, new = table.remap_chunk(chunk, crash_point=crash_point)
         event = DegradationEvent(
             table=table.name,
             cell=cell,
@@ -216,6 +260,8 @@ class Database:
             layout = IntraLayout(layout)
         table = Table(name, Schema(fields), layout, self.physmem, self.allocator)
         self.tables[name] = table
+        if self.durability is not None:
+            self.durability.log_create_table(table)
         if self.ecc is not None:
             table.enable_reliability(self.ecc, recovery=self._recover_chunk)
         return table
@@ -223,6 +269,8 @@ class Database:
     def drop_table(self, name):
         """Forget a table (its subarray space is not reclaimed — the
         online packer never moves placed chunks)."""
+        if self.durability is not None and name in self.tables:
+            self.durability.log_drop_table(name)
         self.tables.pop(name, None)
 
     def table(self, name) -> Table:
@@ -232,6 +280,16 @@ class Database:
             raise SqlError(f"no table named {name!r}") from None
 
     def insert_many(self, name, rows):
+        if self.durability is not None and rows:
+            import numpy as np
+
+            table = self.table(name)
+            packed = np.array(
+                [table.schema.pack(row) for row in rows], dtype=np.int64
+            )
+            self.durability.log_insert(name, packed)
+            table.insert_packed(packed)
+            return
         self.table(name).insert_many(rows)
 
     def create_index(self, table_name, field_name) -> HashIndex:
@@ -240,13 +298,18 @@ class Database:
         table = self.table(table_name)
         if field_name in table.indexes:
             raise LayoutError(f"{table_name}.{field_name} is already indexed")
+        if self.durability is not None:
+            self.durability.log_create_index(table_name, field_name)
         index = HashIndex(table, field_name)
         table.indexes[field_name] = index
         return index
 
     def drop_index(self, table_name, field_name):
         """Forget an index (its subarray space is not reclaimed)."""
-        self.table(table_name).indexes.pop(field_name, None)
+        table = self.table(table_name)
+        if self.durability is not None and field_name in table.indexes:
+            self.durability.log_drop_index(table_name, field_name)
+        table.indexes.pop(field_name, None)
 
     def create_ordered_index(self, table_name, field_name) -> OrderedIndex:
         """Build a sorted-projection index for range predicates."""
@@ -255,12 +318,17 @@ class Database:
             raise LayoutError(
                 f"{table_name}.{field_name} already has an ordered index"
             )
+        if self.durability is not None:
+            self.durability.log_create_ordered_index(table_name, field_name)
         index = OrderedIndex(table, field_name)
         table.ordered_indexes[field_name] = index
         return index
 
     def drop_ordered_index(self, table_name, field_name):
-        self.table(table_name).ordered_indexes.pop(field_name, None)
+        table = self.table(table_name)
+        if self.durability is not None and field_name in table.ordered_indexes:
+            self.durability.log_drop_ordered_index(table_name, field_name)
+        table.ordered_indexes.pop(field_name, None)
 
     # -- querying -----------------------------------------------------------------
     def plan(self, sql, params=None, selectivity_hint=None, group_lines=None):
@@ -289,6 +357,10 @@ class Database:
         ``verify`` flag) cross-checks the result against the naive
         reference engine.
         """
+        if self.durability is not None:
+            # A fresh statement group: records a failed prior statement
+            # left behind stay uncommitted in the log.
+            self.durability.begin_statement()
         with obs.span("query", sql=sql, system=self.memory.name) as qsp:
             statement = parse(sql)
             plan = self.planner.plan(
@@ -328,6 +400,12 @@ class Database:
         # Exported after __exit__ so the root span's wall time is final.
         if timing is not None and qsp.enabled:
             timing.spans = qsp.to_dict()
+        receipt = None
+        if self.durability is not None and self.durability.pending:
+            # The persistence barrier: the statement only commits once its
+            # dirty lines reach the cell arrays and the marker is durable.
+            # May raise SimulatedCrash when an injector is armed.
+            receipt = self.durability.commit_statement(self.machine)
         return ExecutionOutcome(
             sql=sql,
             result=result,
@@ -335,6 +413,7 @@ class Database:
             plan=plan,
             trace_length=len(trace),
             trace=trace,
+            durability=receipt,
         )
 
     def explain(self, sql, params=None, **kwargs):

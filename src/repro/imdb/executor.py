@@ -584,12 +584,19 @@ class Executor:
         ids = np.nonzero(mask)[0]
         fields = [name for name, _value in plan.assignments]
         ranges = self._word_ranges(table, fields)
+        durability = self.database.durability
         for tuple_id in ids:
             chunk, local = table.chunk_of(int(tuple_id))
             for offset, count in ranges:
                 run = chunk.tuple_cells(local, offset, count)
                 self.emit_run(trace, run, write=True, gap=1)
             for name, value in plan.assignments:
+                # Write-ahead: the WAL record lands (and is traced)
+                # before the data cells change.
+                if durability is not None:
+                    durability.log_tuple_write(
+                        trace, table.name, int(tuple_id), name, int(value)
+                    )
                 table.write_field(int(tuple_id), name, value)
         return QueryResult(kind="count", count=len(ids))
 

@@ -160,12 +160,15 @@ class Table:
             )
         return np.ascontiguousarray(packed, dtype=np.int64)
 
-    def remap_chunk(self, chunk):
+    def remap_chunk(self, chunk, crash_point=None):
         """Move a chunk off a damaged rectangle onto a fresh placement.
 
         The old rectangle is retired in the allocator (the bin-packing is
         effectively re-run with the damaged region removed from play) and
-        the cells are rebuilt from the chunk's backup.  Returns
+        the cells are rebuilt from the chunk's backup.  ``crash_point``
+        (if given) is called after the new rectangle is claimed but
+        before its cells are rewritten — the widest window a power loss
+        could tear the remap open.  Returns
         ``(old_placement, new_placement)``."""
         backup = getattr(chunk, "backup", None)
         if backup is None:
@@ -174,6 +177,8 @@ class Table:
         old = chunk.placement
         self.allocator.retire(old)
         chunk.placement = self.allocator.place(chunk.width, chunk.height)
+        if crash_point is not None:
+            crash_point()
         self._write_chunk(chunk, backup)
         if self.ecc is not None:
             # Decommission the damaged rectangle: recompute its check bits

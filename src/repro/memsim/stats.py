@@ -133,6 +133,17 @@ class MemoryStats:
     scrub_reads: int = 0
     #: CPU cycles spent scrubbing (activation + CAS + burst per swept row).
     scrub_cycles: int = 0
+    # -- durability accounting -------------------------------------------------
+    #: Write-ahead log records appended (schema ops, tuple writes, and
+    #: commit markers alike).
+    wal_records: int = 0
+    #: Cell words those records occupy, framing included — the numerator
+    #: of the WAL write-amplification ratio.
+    wal_cells: int = 0
+    #: Persistence barriers run (one per durable statement commit).
+    persist_barriers: int = 0
+    #: Dirty cache lines the persistence barriers wrote back.
+    persist_flush_lines: int = 0
     #: End-to-end request latency distribution (completion - arrival).
     latency_hist: LatencyHistogram = field(default_factory=LatencyHistogram)
 
@@ -166,6 +177,10 @@ class MemoryStats:
         "max_bank_queue_occupancy": "gauge",
         "scrub_reads": "counter",
         "scrub_cycles": "counter",
+        "wal_records": "counter",
+        "wal_cells": "counter",
+        "persist_barriers": "counter",
+        "persist_flush_lines": "counter",
         "latency_hist": "histogram",
     }
 

@@ -123,6 +123,23 @@ class MemorySystem:
         stats.scrub_reads += reads
         stats.scrub_cycles += cycles
 
+    def charge_wal(self, channel, records, cells):
+        """Account write-ahead-log appends against one channel's stats.
+
+        ``cells`` includes record framing, so ``wal_cells`` over data
+        cells written gives the WAL write-amplification ratio."""
+        stats = self.controllers[channel].stats
+        stats.wal_records += records
+        stats.wal_cells += cells
+
+    def charge_persist(self, channel, flushed_lines):
+        """Account one durable-commit persistence barrier: the cache
+        flush that pushed ``flushed_lines`` dirty lines into the cell
+        arrays ahead of the commit marker."""
+        stats = self.controllers[channel].stats
+        stats.persist_barriers += 1
+        stats.persist_flush_lines += flushed_lines
+
     # -- statistics ---------------------------------------------------------
     @property
     def stats(self) -> MemoryStats:

@@ -12,6 +12,7 @@ that re-aims an in-flight device run at the chunk's new placement.
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.errors import LayoutError
 from repro.imdb.binpack import Placement
 from repro.imdb.chunks import Run
 
@@ -35,7 +36,29 @@ def translate_run(run: Run, old: Placement, new: Placement) -> Run:
     the same tuples at new device coordinates.  A rotation flip swaps
     the run's direction — free on RC-NVM, where both directions are
     first-class."""
+    if run.count < 0:
+        raise LayoutError(f"run has negative count {run.count}")
     row0, col0 = (run.start, run.fixed) if run.vertical else (run.fixed, run.start)
+    if run.count:
+        # The run must sit entirely inside the retired rectangle —
+        # anything else means the caller paired it with the wrong
+        # placement, and silently translating would corrupt another
+        # chunk's cells.
+        if run.vertical:
+            row_last, col_last = row0 + run.count - 1, col0
+        else:
+            row_last, col_last = row0, col0 + run.count - 1
+        inside = (
+            run.subarray == old.bin_index
+            and old.y <= row0 <= row_last < old.y + old.height
+            and old.x <= col0 <= col_last < old.x + old.width
+        )
+        if not inside:
+            raise LayoutError(
+                f"run (subarray {run.subarray}, rows {row0}..{row_last}, "
+                f"cols {col0}..{col_last}) is not inside retired placement "
+                f"{old}"
+            )
     if old.rotated:
         local_row, local_col = col0 - old.x, row0 - old.y
     else:

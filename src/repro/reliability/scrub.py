@@ -44,6 +44,9 @@ class ScrubScheduler:
         self.cycle_budget = cycle_budget
         #: First subarray id the next sweep will visit.
         self._next = 0
+        #: Optional zero-argument callable fired between subarrays of a
+        #: sweep; durability wires a crash injector here ("mid-scrub").
+        self.crash_hook = None
         # Lifetime totals, for reporting across budgeted partial sweeps.
         self.total = SweepReport()
 
@@ -96,6 +99,8 @@ class ScrubScheduler:
                 report.complete = False
                 self._next = sub
                 break
+            if position and self.crash_hook is not None:
+                self.crash_hook()
             result = self.store.sweep(sub)
             rows = -(-result.cells // self.store.physmem.geometry.cols)
             cycles = self._charge(sub, rows) if rows else 0

@@ -229,3 +229,49 @@ class TestGsdramColumnRegression:
         # interaction is covered by gsdram-row + per-case layouts and
         # the direct test above.
         assert "gsdram-row" in CONFIGS
+
+
+class TestCrashFuzz:
+    """Kill-and-recover mode: durable configs + seeded crash injector."""
+
+    def test_short_campaign_is_clean(self):
+        from repro.fuzz.crashes import run_crash_fuzz
+
+        report = run_crash_fuzz(seed=0, iterations=5)
+        assert report.ok, report.summary()
+        assert report.iterations == 5
+
+    def test_crash_case_is_deterministic(self):
+        from repro.fuzz.crashes import run_crash_case
+        from repro.fuzz.grammar import CaseGenerator
+
+        case = CaseGenerator(3).case(0)
+        first = run_crash_case(case, injector_seed=11)
+        second = run_crash_case(case, injector_seed=11)
+        assert first == second
+
+    def test_state_mismatch_is_reported(self):
+        """Plant a bug: mirror an *uncommitted* statement into sqlite and
+        the state oracle must flag the divergence."""
+        from repro.fuzz.crashes import (
+            build_durable_database, compare_states,
+        )
+        from repro.fuzz.grammar import CaseGenerator
+        from repro.fuzz.oracle import CONFIGS, SqliteOracle
+
+        case = CaseGenerator(5).case(1)
+        config = CONFIGS["rcnvm-row"]
+        db = build_durable_database(config, case)
+        sq = SqliteOracle(case)
+        spec = case.tables[0]
+        if not spec.rows:
+            return
+        narrow = spec.narrow_fields()
+        stmt = {
+            "kind": "update", "table": spec.name,
+            "set": [[narrow[0], 123456, None]], "where": [],
+            "expect_error": False,
+        }
+        sq.execute(stmt)  # sqlite thinks it committed; simulation never ran it
+        problems = compare_states(db, sq)
+        assert problems, "planted divergence went undetected"

@@ -42,6 +42,18 @@ def test_replay_corpus_is_clean():
     )
 
 
+def test_replay_corpus_with_crashes_is_clean():
+    """Kill-and-recover replay: every corpus case also survives a seeded
+    crash injector on the durable configs, recovering to sqlite's
+    committed-prefix state."""
+    from repro.fuzz.crashes import replay_corpus_with_crashes
+
+    failures = replay_corpus_with_crashes(CORPUS, seeds=(0, 1, 2))
+    assert failures == {}, "\n".join(
+        f"{name}: {problems}" for name, problems in failures.items()
+    )
+
+
 @pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
 def test_each_case_has_a_note(path):
     case = load_case(path)

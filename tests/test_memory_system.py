@@ -131,6 +131,8 @@ SNAPSHOT_GOLDEN_KEYS = frozenset({
     "max_queue_occupancy", "max_bank_queue_occupancy", "latency_hist",
     # reliability (background scrub traffic, repro.reliability.scrub)
     "scrub_reads", "scrub_cycles",
+    # durability (WAL appends + persistence barriers, repro.durability)
+    "wal_records", "wal_cells", "persist_barriers", "persist_flush_lines",
     # derived
     "accesses", "buffer_miss_rate", "average_latency",
     "avg_queue_occupancy", "latency_p50", "latency_p95", "latency_p99",
