@@ -32,6 +32,7 @@ from repro.cpu.tracebuffer import (
     LINE_PIN,
     LINE_UNPIN,
     LINE_WRITE,
+    FinalizedTrace,
     TraceBuffer,
 )
 from repro.geometry import CACHE_LINE_BYTES, WORD_BYTES
@@ -40,6 +41,17 @@ from repro.memsim.system import MemorySystem
 from repro.obs import tracer as obs
 
 _ORIENT_OBJS = (Orientation.ROW, Orientation.COLUMN, Orientation.GATHER)
+
+#: Replay engine selection for :class:`Machine` (and the ``Database``
+#: that owns one).  All three produce bit-for-bit identical results on
+#: any trace (``tests/test_replay_equivalence.py``):
+#:
+#: * ``precise`` — one Python ``Access`` at a time; the oracle.
+#: * ``batched`` — per-line loop over finalized SoA arrays (PR 2).
+#: * ``kernel`` — whole-trace flat-integer replay
+#:   (:mod:`repro.cpu.replaykernel`) for eligible traces, falling back
+#:   to ``batched`` otherwise.
+REPLAY_MODES = ("precise", "batched", "kernel")
 
 
 @dataclass
@@ -84,10 +96,16 @@ class RunResult:
 class Machine:
     """One core in front of a cache hierarchy and a memory system."""
 
-    def __init__(self, memory: MemorySystem, hierarchy: CacheHierarchy, window=8):
+    def __init__(self, memory: MemorySystem, hierarchy: CacheHierarchy, window=8,
+                 replay_mode="batched"):
+        if replay_mode not in REPLAY_MODES:
+            raise ValueError(
+                f"unknown replay mode {replay_mode!r}; expected one of {REPLAY_MODES}"
+            )
         self.memory = memory
         self.hierarchy = hierarchy
         self.window = window
+        self.replay_mode = replay_mode
         self._hit_costs = [0] + [level.hit_latency for level in hierarchy.levels[1:]]
         self._llc_latency = hierarchy.llc.hit_latency
 
@@ -95,17 +113,27 @@ class Machine:
     def run(self, trace) -> RunResult:
         """Execute a trace.
 
-        A :class:`~repro.cpu.tracebuffer.TraceBuffer` takes the batched
-        fast path over its finalized per-line arrays; any other iterable
-        of :class:`~repro.cpu.trace.Access` takes the precise per-access
-        path.  Both produce bit-for-bit identical :class:`RunResult`s —
-        the fast path replays the same per-line decisions in the same
-        order, it just precomputes everything that does not depend on
-        cache or controller state (see ``tests/test_replay_equivalence``).
+        A :class:`~repro.cpu.tracebuffer.TraceBuffer` (or an
+        already-finalized :class:`~repro.cpu.tracebuffer.FinalizedTrace`)
+        takes the batched fast path over its per-line arrays; any other
+        iterable of :class:`~repro.cpu.trace.Access` takes the precise
+        per-access path.  All paths produce bit-for-bit identical
+        :class:`RunResult`s — the fast paths replay the same per-line
+        decisions in the same order, they just precompute everything that
+        does not depend on cache or controller state (see
+        ``tests/test_replay_equivalence``).
         """
         with obs.span("machine.run") as sp:
-            if isinstance(trace, TraceBuffer):
-                result = self._run_batched(trace.finalize())
+            if self.replay_mode != "precise" and isinstance(
+                trace, (TraceBuffer, FinalizedTrace)
+            ):
+                fin = (
+                    trace.finalize() if isinstance(trace, TraceBuffer) else trace
+                )
+                if self.replay_mode == "kernel":
+                    result = self._run_kernel(fin)
+                else:
+                    result = self._run_batched(fin)
             else:
                 result = self._run_precise(trace)
             if sp.enabled:
@@ -125,6 +153,26 @@ class Machine:
                     },
                 )
             return result
+
+    def _run_kernel(self, fin) -> RunResult:
+        """Replay via the flat-integer whole-trace kernel when the trace
+        and current simulator state admit it; otherwise fall back to the
+        batched per-line loop (same result either way — the kernel's
+        eligibility test is exactly the set of cases it can reproduce
+        bit for bit; see :mod:`repro.cpu.replaykernel`)."""
+        from repro.cpu.replaykernel import kernel_eligible, run_kernel
+
+        if fin.has_column and not self.memory.supports_column:
+            raise CapabilityError(
+                f"{self.memory.name} does not support column accesses"
+            )
+        if fin.has_gather and not self.memory.supports_gather:
+            raise CapabilityError(
+                f"{self.memory.name} does not support gathered accesses"
+            )
+        if kernel_eligible(self, fin):
+            return run_kernel(self, fin)
+        return self._run_batched(fin)
 
     def _run_precise(self, trace) -> RunResult:
         result = RunResult()

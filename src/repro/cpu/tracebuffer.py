@@ -288,6 +288,8 @@ class FinalizedTrace:
         "_lists",
         "_acc_lists",
         "_decode_cache",
+        "_decode_arrays",
+        "_kernel_cache",
     )
 
     def __init__(self, buffer: TraceBuffer):
@@ -355,6 +357,11 @@ class FinalizedTrace:
         self._lists = None
         self._acc_lists = None
         self._decode_cache = {}
+        self._decode_arrays = {}
+        #: Flattened replay-kernel columns, memoized per mapper/geometry
+        #: (see :mod:`repro.cpu.replaykernel`) — repeat replays of one
+        #: finalized trace skip all array->list conversion work.
+        self._kernel_cache = {}
 
     def replay_lists(self):
         """The per-line columns as plain Python lists (fast to index from
@@ -385,20 +392,31 @@ class FinalizedTrace:
             )
         return self._acc_lists
 
-    def decoded_for(self, mapper):
+    def decoded_arrays_for(self, mapper):
         """Per-line device coordinates under ``mapper``'s geometry, as
-        plain lists: ``(channel, rank, bank, subarray, row, col)``.
+        NumPy arrays: ``(channel, rank, bank, subarray, row, col)``.
 
         This is the batched counterpart of the scalar
         ``AddressMapper.decode`` call the precise path performs per LLC
         miss; gather and unpin lines never issue decoded requests, so
-        their (synthetic) addresses are masked out.
+        their (synthetic) addresses are masked out.  Cached per mapper —
+        replaying the same finalized trace against the same memory
+        system never re-decodes (a regression test pins the call count).
         """
-        cached = self._decode_cache.get(mapper)
+        cached = self._decode_arrays.get(mapper)
         if cached is None:
             skip = (self.line_special & (LINE_GATHER | LINE_UNPIN)) != 0
             addresses = np.where(skip, 0, self.line_index << _LINE_SHIFT)
-            fields = mapper.decode_fields(addresses, self.line_orient)
+            cached = mapper.decode_fields(addresses, self.line_orient)
+            self._decode_arrays[mapper] = cached
+        return cached
+
+    def decoded_for(self, mapper):
+        """:meth:`decoded_arrays_for` as plain Python lists (fast to
+        index from the interpreted replay loop; cached per mapper)."""
+        cached = self._decode_cache.get(mapper)
+        if cached is None:
+            fields = self.decoded_arrays_for(mapper)
             cached = tuple(column.tolist() for column in fields)
             self._decode_cache[mapper] = cached
         return cached

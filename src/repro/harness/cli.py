@@ -83,6 +83,9 @@ def _bench_result(args):
 
     report = run_perfbench(scale=args.scale, sched_kwargs=args.sched_kwargs)
     write_report(report, args.bench_out)
+    serving = report["template_serving"]
+    rebind = report["rebind_microbench"]
+    hit_rate = serving["hit_rate"]
     rows = [
         ("generation", report["generation"]["accesses_per_sec"], ""),
         ("replay precise", report["replay_before_precise"]["accesses_per_sec"], ""),
@@ -90,6 +93,21 @@ def _bench_result(args):
             "replay batched",
             report["replay_after_batched"]["accesses_per_sec"],
             f"{report['speedup_batched_over_precise']}x vs precise",
+        ),
+        (
+            "replay kernel",
+            report["replay_after_kernel"]["accesses_per_sec"],
+            f"{report['speedup_kernel_over_precise']}x vs precise",
+        ),
+        (
+            "template serving",
+            serving["served_accesses_per_sec"],
+            f"hit rate {hit_rate:.0%}" if hit_rate is not None else "no lookups",
+        ),
+        (
+            "rebind",
+            rebind["rebinds"],
+            f"{rebind['avg_us_per_rebind']} us/rebind",
         ),
     ]
     return FigureResult(

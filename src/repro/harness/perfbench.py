@@ -8,13 +8,23 @@ structure-of-arrays trace pipeline targets:
 * **replay, precise path** — ``Machine.run`` over ``List[Access]``
   (the representation the per-access path consumes — the "before");
 * **replay, batched path** — ``Machine.run`` over the same traces as
-  ``TraceBuffer`` objects (the "after").
+  ``TraceBuffer`` objects (the interpreted fast path);
+* **replay, kernel path** — the same buffers with
+  ``replay_mode="kernel"``, the compiled whole-trace replay core (the
+  "after").
 
-The two replay paths are timed interleaved in the same process, so the
-reported speedup is insensitive to machine load, and every query's
-:class:`RunResult` is compared field-for-field between the paths — the
-equivalence oracle.  A run aborts with nonzero mismatches rather than
-reporting a throughput for a replay that changed the simulation.
+The replay paths are timed interleaved in the same process, so the
+reported speedups are insensitive to machine load, and every query's
+:class:`RunResult` is compared field-for-field between all three paths —
+the equivalence oracle.  A run aborts with nonzero mismatches rather
+than reporting a throughput for a replay that changed the simulation.
+
+Two serving-path sections ride along: **template serving** repeats the
+suite through the plan/trace template cache (round 0 misses and stores;
+the measured rounds must hit) and reports the hit rate and served
+statement/access rates, and the **rebind microbenchmark** times the
+parameter-rebind path (cached trace reused, result recomputed) in
+microseconds per rebind.
 
 Also reported: per-access memory of both trace representations (the
 ``__slots__``-objects list vs the NumPy columns) and the process's peak
@@ -69,13 +79,16 @@ def _generate(systems, qids, scale, sched_kwargs=None):
     return work, gen_seconds, n_accesses
 
 
-def _replay_round(work, traces):
-    """Replay ``traces[i]`` on ``work[i]``'s machine; returns
-    ``(seconds, results)`` with cache/bank state reset outside the
-    timed region (reset cost is not replay cost)."""
+def _replay_round(work, traces, mode="batched"):
+    """Replay ``traces[i]`` on ``work[i]``'s machine under ``mode``;
+    returns ``(seconds, results)`` with cache/bank state reset outside
+    the timed region (reset cost is not replay cost).  ``mode`` only
+    matters for buffer traces — ``List[Access]`` always replays
+    precisely."""
     seconds = 0.0
     results = []
     for (db, _qid, _buffer), trace in zip(work, traces):
+        db.replay_mode = mode  # reset_timing rebuilds the machine from this
         db.reset_timing()
         start = time.perf_counter()
         results.append(db.machine.run(trace))
@@ -111,36 +124,132 @@ def _measure_allocation(work):
     }
 
 
+def _template_serving(systems, qids, scale, warmup_rounds=2,
+                      measured_rounds=3, sched_kwargs=None):
+    """Serve the suite repeatedly through the template cache.
+
+    The warmup rounds reach the cache's fixed point (round 0 misses and
+    stores; a data-changing UPDATE needs one more round to become
+    idempotent and cacheable), then the measured rounds — where every
+    statement should hit — are timed against the cold first round."""
+    cold_seconds = 0.0
+    warm_seconds = 0.0
+    statements = 0
+    accesses = 0
+    totals = {"hits": 0, "misses": 0, "rebinds": 0, "invalidations": 0}
+    for system_name in systems:
+        memory = build_system(system_name, **(sched_kwargs or {}))
+        db = build_benchmark_database(memory, scale=scale)
+        db.replay_mode = "kernel"
+        db.reset_timing()
+        db.enable_template_cache()
+        stats = db.template_cache.stats
+        for round_index in range(warmup_rounds + measured_rounds):
+            if round_index == warmup_rounds:  # fixed point reached
+                baseline = stats.snapshot()
+            start = time.perf_counter()
+            for qid in qids:
+                spec = QUERIES[qid]
+                outcome = db.execute(
+                    spec.sql, params=spec.params,
+                    selectivity_hint=spec.selectivity_hint,
+                )
+                if round_index >= warmup_rounds:
+                    statements += 1
+                    accesses += outcome.trace_length
+            elapsed = time.perf_counter() - start
+            if round_index == 0:
+                cold_seconds += elapsed
+            elif round_index >= warmup_rounds:
+                warm_seconds += elapsed
+        snap = stats.snapshot()
+        for field_name in totals:
+            totals[field_name] += snap[field_name] - baseline[field_name]
+    lookups = totals["hits"] + totals["misses"] + totals["rebinds"]
+    return {
+        "warmup_rounds": warmup_rounds,
+        "measured_rounds": measured_rounds,
+        "statements": statements,
+        **totals,
+        "hit_rate": round(totals["hits"] / lookups, 4) if lookups else None,
+        "cold_round_seconds": round(cold_seconds, 4),
+        "measured_seconds": round(warm_seconds, 4),
+        "statements_per_sec": round(statements / warm_seconds)
+        if warm_seconds else None,
+        "served_accesses_per_sec": round(accesses / warm_seconds)
+        if warm_seconds else None,
+        "speedup_vs_cold": round(
+            (cold_seconds * measured_rounds) / warm_seconds, 2
+        ) if warm_seconds else None,
+    }
+
+
+def _rebind_microbench(scale, n=16, system="RC-NVM", sched_kwargs=None):
+    """Time the parameter-rebind path: one seeded binding, then ``n``
+    executions of the same aggregate template with fresh constants.
+    Only the functional recompute is timed (``rebind_ns``); replay is
+    skipped (``simulate=False``) — rebind cost is a planner/executor
+    metric, not a replay one."""
+    memory = build_system(system, **(sched_kwargs or {}))
+    db = build_benchmark_database(memory, scale=scale)
+    db.enable_template_cache()
+    spec = QUERIES["Q7"]  # full-column AVG: rebind-safe by construction
+    for step in range(n + 1):
+        db.execute(
+            spec.sql, params={"x": spec.params["x"] + step},
+            selectivity_hint=spec.selectivity_hint, simulate=False,
+        )
+    stats = db.template_cache.stats
+    return {
+        "statements": n + 1,
+        "rebinds": stats.rebinds,
+        "avg_us_per_rebind": round(stats.rebind_ns / stats.rebinds / 1000, 2)
+        if stats.rebinds else None,
+    }
+
+
 def run_perfbench(scale=0.1, systems=FIGURE_SYSTEMS, qids=SQL_BENCHMARK_IDS,
-                  rounds=3, sched_kwargs=None):
+                  rounds=3, sched_kwargs=None, serving_rounds=3):
     """Run the full benchmark; returns the result dict (JSON-ready)."""
+    from repro.cpu.replaykernel import kernel_eligible
+
     work, gen_seconds, n_accesses = _generate(systems, qids, scale, sched_kwargs)
     buffers = [buffer for _db, _qid, buffer in work]
     access_lists = [list(buffer.to_accesses()) for buffer in buffers]
 
-    # Warm both paths once (finalize caches, code paths JIT-warm in the
+    kernel_eligible_queries = 0
+    for (db, _qid, _buffer), buffer in zip(work, buffers):
+        db.reset_timing()
+        if kernel_eligible(db.machine, buffer.finalize()):
+            kernel_eligible_queries += 1
+
+    # Warm all paths once (finalize caches, code paths JIT-warm in the
     # bytecode-cache sense), then time interleaved rounds and keep the
     # best of each — the fair same-conditions comparison.
     _replay_round(work, access_lists)
-    _replay_round(work, buffers)
-    precise_times, batched_times = [], []
-    precise_results = batched_results = None
+    _replay_round(work, buffers, mode="batched")
+    _replay_round(work, buffers, mode="kernel")
+    precise_times, batched_times, kernel_times = [], [], []
+    precise_results = batched_results = kernel_results = None
     for _ in range(rounds):
         seconds, precise_results = _replay_round(work, access_lists)
         precise_times.append(seconds)
-        seconds, batched_results = _replay_round(work, buffers)
+        seconds, batched_results = _replay_round(work, buffers, mode="batched")
         batched_times.append(seconds)
+        seconds, kernel_results = _replay_round(work, buffers, mode="kernel")
+        kernel_times.append(seconds)
 
     mismatches = [
         (work[i][0].memory.name, work[i][1])
-        for i, (precise, batched) in enumerate(
-            zip(precise_results, batched_results)
+        for i, (precise, batched, kernel) in enumerate(
+            zip(precise_results, batched_results, kernel_results)
         )
-        if precise != batched
+        if not (precise == batched == kernel)
     ]
 
     precise_s = min(precise_times)
     batched_s = min(batched_times)
+    kernel_s = min(kernel_times)
     peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     report = {
         "meta": {
@@ -165,12 +274,24 @@ def run_perfbench(scale=0.1, systems=FIGURE_SYSTEMS, qids=SQL_BENCHMARK_IDS,
             "seconds": round(batched_s, 4),
             "accesses_per_sec": round(n_accesses / batched_s),
         },
+        "replay_after_kernel": {
+            "seconds": round(kernel_s, 4),
+            "accesses_per_sec": round(n_accesses / kernel_s),
+            "kernel_eligible_queries": kernel_eligible_queries,
+        },
         "speedup_batched_over_precise": round(precise_s / batched_s, 2),
+        "speedup_kernel_over_precise": round(precise_s / kernel_s, 2),
         "equivalence": {
             "checked_queries": len(work),
+            "modes": ["precise", "batched", "kernel"],
             "mismatches": len(mismatches),
             "mismatched": mismatches,
         },
+        "template_serving": _template_serving(
+            systems, qids, scale, measured_rounds=serving_rounds,
+            sched_kwargs=sched_kwargs,
+        ),
+        "rebind_microbench": _rebind_microbench(scale, sched_kwargs=sched_kwargs),
         "allocation": _measure_allocation(work),
         "peak_rss_kib": peak_rss_kib,
     }
@@ -178,15 +299,22 @@ def run_perfbench(scale=0.1, systems=FIGURE_SYSTEMS, qids=SQL_BENCHMARK_IDS,
 
 
 def check_regression(report, baseline_path, max_regression=0.25):
-    """Compare batched replay accesses/sec against a committed baseline.
+    """Compare replay accesses/sec against a committed baseline.
 
-    Returns a list of failure strings (empty = pass).  A report that
-    failed its own equivalence oracle always fails the gate.
+    Gates both the batched and (when the baseline records it) the kernel
+    path with the same fractional fence, plus the template-serving hit
+    rate.  Returns a list of failure strings (empty = pass).  A report
+    that failed its own equivalence oracle always fails the gate.
     """
     failures = []
     if report["equivalence"]["mismatches"]:
         failures.append(
             f"equivalence oracle failed on {report['equivalence']['mismatched']}"
+        )
+    hit_rate = (report.get("template_serving") or {}).get("hit_rate")
+    if hit_rate is not None and hit_rate < 0.9:
+        failures.append(
+            f"template cache hit rate {hit_rate:.2%} < 90% on suite repeats"
         )
     # A broken baseline must produce a readable gate failure, not a
     # KeyError/FileNotFoundError traceback in the CI log.
@@ -203,27 +331,43 @@ def check_regression(report, baseline_path, max_regression=0.25):
     except json.JSONDecodeError as exc:
         failures.append(f"baseline {baseline_path!r} is not valid JSON: {exc}")
         return failures
-    try:
-        base_rate = baseline["replay_after_batched"]["accesses_per_sec"]
-    except (KeyError, TypeError):
+    if "replay_after_batched" not in baseline:
         failures.append(
             f"baseline {baseline_path!r} lacks "
             "replay_after_batched.accesses_per_sec; regenerate it with "
             "`python -m repro.harness.perfbench`"
         )
         return failures
-    if not isinstance(base_rate, (int, float)) or base_rate <= 0:
+    # Older baselines predate the kernel path; gate only what they record.
+    for key, label in (("replay_after_batched", "batched"),
+                       ("replay_after_kernel", "kernel")):
+        section = baseline.get(key)
+        if section is None:
+            continue
+        base_rate = (section or {}).get("accesses_per_sec")
+        if not isinstance(base_rate, (int, float)) or base_rate <= 0:
+            failures.append(
+                f"baseline {baseline_path!r} has unusable "
+                f"{key}.accesses_per_sec = {base_rate!r}"
+            )
+            continue
+        floor = base_rate * (1 - max_regression)
+        measured = report[key]["accesses_per_sec"]
+        if measured < floor:
+            failures.append(
+                f"{label} replay regressed: {measured} accesses/sec < "
+                f"{floor:.0f} (baseline {base_rate} - {max_regression:.0%})"
+            )
+    ceiling = (baseline.get("rebind_microbench") or {}).get(
+        "max_avg_us_per_rebind"
+    )
+    measured_us = (report.get("rebind_microbench") or {}).get(
+        "avg_us_per_rebind"
+    )
+    if ceiling is not None and measured_us is not None and measured_us > ceiling:
         failures.append(
-            f"baseline {baseline_path!r} has unusable "
-            f"replay_after_batched.accesses_per_sec = {base_rate!r}"
-        )
-        return failures
-    floor = base_rate * (1 - max_regression)
-    measured = report["replay_after_batched"]["accesses_per_sec"]
-    if measured < floor:
-        failures.append(
-            f"batched replay regressed: {measured} accesses/sec < "
-            f"{floor:.0f} (baseline {base_rate} - {max_regression:.0%})"
+            f"rebind regressed: {measured_us} us/rebind > "
+            f"baseline ceiling {ceiling} us"
         )
     return failures
 
@@ -244,6 +388,8 @@ def main(argv=None):
                         help="table-size scale factor (default 0.1)")
     parser.add_argument("--rounds", type=int, default=3,
                         help="timed replay rounds, best-of (default 3)")
+    parser.add_argument("--serving-rounds", type=int, default=3,
+                        help="measured template-serving rounds (default 3)")
     parser.add_argument("--systems", nargs="*", default=list(FIGURE_SYSTEMS),
                         help="memory systems to run (default: all four)")
     parser.add_argument("--baseline", default=None,
@@ -254,17 +400,31 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     report = run_perfbench(
-        scale=args.scale, systems=tuple(args.systems), rounds=args.rounds
+        scale=args.scale, systems=tuple(args.systems), rounds=args.rounds,
+        serving_rounds=args.serving_rounds,
     )
     write_report(report, args.out)
     before = report["replay_before_precise"]["accesses_per_sec"]
     after = report["replay_after_batched"]["accesses_per_sec"]
+    kernel = report["replay_after_kernel"]["accesses_per_sec"]
+    serving = report["template_serving"]
+    rebind = report["rebind_microbench"]
     print(f"trace generation : {report['generation']['accesses_per_sec']} accesses/sec")
     print(f"replay precise   : {before} accesses/sec")
     print(f"replay batched   : {after} accesses/sec "
           f"({report['speedup_batched_over_precise']}x)")
+    print(f"replay kernel    : {kernel} accesses/sec "
+          f"({report['speedup_kernel_over_precise']}x, "
+          f"{report['replay_after_kernel']['kernel_eligible_queries']}"
+          f"/{report['equivalence']['checked_queries']} queries eligible)")
     print(f"equivalence      : {report['equivalence']['mismatches']} mismatches "
-          f"over {report['equivalence']['checked_queries']} queries")
+          f"over {report['equivalence']['checked_queries']} queries x 3 modes")
+    hit_rate = serving["hit_rate"]
+    print(f"template serving : {serving['statements_per_sec']} statements/sec, "
+          f"hit rate {hit_rate:.1%}" if hit_rate is not None
+          else "template serving : (no lookups)")
+    print(f"rebind           : {rebind['avg_us_per_rebind']} us/rebind "
+          f"over {rebind['rebinds']} rebinds")
     print(f"written to       : {args.out}")
     if report["equivalence"]["mismatches"]:
         print("FAIL: batched replay diverged from the precise path", file=sys.stderr)

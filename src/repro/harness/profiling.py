@@ -92,19 +92,30 @@ class ProfileResult:
 
 
 def profile_query(qid="Q7", system="RC-NVM", scale=0.1, small=False,
-                  sched_kwargs=None) -> ProfileResult:
-    """Build a database, run one benchmark query traced, collect metrics."""
+                  sched_kwargs=None, template_cache=False,
+                  repeats=1) -> ProfileResult:
+    """Build a database, run one benchmark query traced, collect metrics.
+
+    With ``template_cache``, the query is served through the plan/trace
+    template cache and ``repeats`` controls how many times it runs (the
+    first execution misses and stores; the rest hit), so the
+    ``template_cache.*`` instruments show up in the top-N table.
+    """
     qid = resolve_query(qid)
     system = resolve_system(system)
     memory = build_system(system, small=small, **(sched_kwargs or {}))
     cache_config = SMALL_CACHE_CONFIG if small else None
     db = build_benchmark_database(memory, scale=scale, cache_config=cache_config)
+    if template_cache:
+        db.enable_template_cache()
     registry = obs_metrics.registry_for_database(db)
     spec = QUERIES[qid]
     with obs.tracing() as tracer:
-        outcome = db.execute(
-            spec.sql, params=spec.params, selectivity_hint=spec.selectivity_hint
-        )
+        for _ in range(max(1, repeats)):
+            outcome = db.execute(
+                spec.sql, params=spec.params,
+                selectivity_hint=spec.selectivity_hint,
+            )
     return ProfileResult(
         qid=qid, system=system, outcome=outcome, tracer=tracer,
         registry=registry, database=db,
@@ -193,6 +204,12 @@ def main(argv=None):
                         help="use the small test geometry and caches")
     parser.add_argument("--top", type=int, default=12,
                         help="metric table row count (default 12)")
+    parser.add_argument("--template-cache", action="store_true",
+                        help="serve the query through the plan/trace "
+                             "template cache (see --repeats)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="executions of the query when --template-cache "
+                             "is on: first misses, the rest hit (default 3)")
     parser.add_argument("--json", action="store_true",
                         help="emit the profile as JSON instead of text")
     parser.add_argument("--chrome-out", default=None, metavar="PATH",
@@ -206,7 +223,9 @@ def main(argv=None):
         args.scale = min(args.scale, 0.05)
     try:
         profile = profile_query(
-            qid=args.query, system=args.system, scale=args.scale, small=args.small
+            qid=args.query, system=args.system, scale=args.scale,
+            small=args.small, template_cache=args.template_cache,
+            repeats=args.repeats if args.template_cache else 1,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

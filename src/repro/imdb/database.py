@@ -67,8 +67,20 @@ class Database:
         default_group_lines: int = 0,
         verify: bool = False,
         physmem: Optional[PhysicalMemory] = None,
+        replay_mode: str = "batched",
+        template_cache: bool = False,
     ):
         self.memory = memory
+        #: Replay engine for :meth:`execute`'s timing runs (one of
+        #: :data:`repro.cpu.machine.REPLAY_MODES`); threaded into every
+        #: :class:`Machine` built by :meth:`reset_timing`.
+        self.replay_mode = replay_mode
+        #: Bumped by every DDL statement (table/index create and drop);
+        #: the template cache keys entry validity on it.
+        self.layout_epoch = 0
+        #: :class:`~repro.cpu.tracetemplate.TraceTemplateCache` (None
+        #: until requested); see :meth:`enable_template_cache`.
+        self.template_cache = None
         #: ``physmem`` may be shared with a crashed predecessor: crash
         #: recovery builds a fresh Database over the *surviving* cells.
         self.physmem = physmem if physmem is not None else PhysicalMemory(
@@ -94,6 +106,8 @@ class Database:
         self.durability = None
         #: Every chunk remap forced by an uncorrectable error, in order.
         self.degradation_events = []
+        if template_cache:
+            self.enable_template_cache()
         self.reset_timing()
 
     # -- timing state ------------------------------------------------------------
@@ -108,7 +122,23 @@ class Database:
             SynonymDirectory(self.physmem.mapper) if self.memory.supports_column else None
         )
         self.hierarchy = make_hierarchy(synonym=synonym, **self.cache_config)
-        self.machine = Machine(self.memory, self.hierarchy, window=self.window)
+        self.machine = Machine(
+            self.memory,
+            self.hierarchy,
+            window=self.window,
+            replay_mode=self.replay_mode,
+        )
+
+    # -- template cache ------------------------------------------------------------
+    def enable_template_cache(self):
+        """Memoize (plan, result, trace) per statement template so repeat
+        executions skip the executor (see
+        :mod:`repro.cpu.tracetemplate`).  Returns the cache."""
+        from repro.cpu.tracetemplate import TraceTemplateCache
+
+        if self.template_cache is None:
+            self.template_cache = TraceTemplateCache(self)
+        return self.template_cache
 
     # -- durability ---------------------------------------------------------------
     def enable_durability(self, wal_rows=None, injector=None):
@@ -256,6 +286,7 @@ class Database:
     def create_table(self, name, fields, layout="row") -> Table:
         if name in self.tables:
             raise LayoutError(f"table {name!r} already exists")
+        self.layout_epoch += 1
         if isinstance(layout, str):
             layout = IntraLayout(layout)
         table = Table(name, Schema(fields), layout, self.physmem, self.allocator)
@@ -271,6 +302,7 @@ class Database:
         online packer never moves placed chunks)."""
         if self.durability is not None and name in self.tables:
             self.durability.log_drop_table(name)
+        self.layout_epoch += 1
         self.tables.pop(name, None)
 
     def table(self, name) -> Table:
@@ -300,6 +332,7 @@ class Database:
             raise LayoutError(f"{table_name}.{field_name} is already indexed")
         if self.durability is not None:
             self.durability.log_create_index(table_name, field_name)
+        self.layout_epoch += 1
         index = HashIndex(table, field_name)
         table.indexes[field_name] = index
         return index
@@ -309,6 +342,7 @@ class Database:
         table = self.table(table_name)
         if self.durability is not None and field_name in table.indexes:
             self.durability.log_drop_index(table_name, field_name)
+        self.layout_epoch += 1
         table.indexes.pop(field_name, None)
 
     def create_ordered_index(self, table_name, field_name) -> OrderedIndex:
@@ -320,6 +354,7 @@ class Database:
             )
         if self.durability is not None:
             self.durability.log_create_ordered_index(table_name, field_name)
+        self.layout_epoch += 1
         index = OrderedIndex(table, field_name)
         table.ordered_indexes[field_name] = index
         return index
@@ -328,6 +363,7 @@ class Database:
         table = self.table(table_name)
         if self.durability is not None and field_name in table.ordered_indexes:
             self.durability.log_drop_ordered_index(table_name, field_name)
+        self.layout_epoch += 1
         table.ordered_indexes.pop(field_name, None)
 
     # -- querying -----------------------------------------------------------------
@@ -370,13 +406,32 @@ class Database:
                 group_lines=group_lines,
             )
             verify = self.verify if verify is None else verify
+            # The template cache stands down under durability (every
+            # statement must log WAL records) and verification (the
+            # point of verify is to re-execute).
+            cache = self.template_cache
+            use_cache = cache is not None and self.durability is None and not verify
             # Snapshot before the reference pass: its functional reads run the
             # same ECC demand checks, so recovery can fire there too.
             events_before = len(self.degradation_events)
-            expected = self.reference.execute(statement, params) if verify else None
-            result, trace = self.executor.execute(plan)
-            if expected is not None:
-                _check_result(sql, result, expected)
+            cached = None
+            if use_cache:
+                template_key = cache.template_key(
+                    sql, selectivity_hint, group_lines
+                )
+                cached = cache.fetch(template_key, plan)
+            if cached is not None:
+                result, trace = cached
+            else:
+                expected = (
+                    self.reference.execute(statement, params) if verify else None
+                )
+                versions_before = cache.versions_of(plan) if use_cache else None
+                result, trace = self.executor.execute(plan)
+                if expected is not None:
+                    _check_result(sql, result, expected)
+                if use_cache:
+                    cache.store(template_key, plan, result, trace, versions_before)
             timing = None
             if simulate:
                 if fresh_timing:

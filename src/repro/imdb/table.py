@@ -40,6 +40,13 @@ class Table:
         self.indexes = {}
         #: Range indexes by field name (repro.imdb.ordered_index.OrderedIndex).
         self.ordered_indexes = {}
+        #: Bumped whenever chunk geometry changes (inserts appending
+        #: chunks, remaps moving them) — cached traces address the old
+        #: cells, so any bump invalidates them.
+        self.geometry_epoch = 0
+        #: Bumped by functional writes that actually change a cell value
+        #: (an idempotent re-write of the same constant does not count).
+        self.content_version = 0
 
     # -- loading ---------------------------------------------------------------
     def insert_many(self, rows):
@@ -85,6 +92,7 @@ class Table:
             self._write_chunk(chunk, packed[first : first + count])
             self.chunks.append(chunk)
         self.n_tuples += len(packed)
+        self.geometry_epoch += 1
 
     def _write_chunk(self, chunk, data):
         """Vectorized cell write of one chunk's tuples."""
@@ -177,6 +185,7 @@ class Table:
         old = chunk.placement
         self.allocator.retire(old)
         chunk.placement = self.allocator.place(chunk.width, chunk.height)
+        self.geometry_epoch += 1
         if crash_point is not None:
             crash_point()
         self._write_chunk(chunk, backup)
@@ -286,6 +295,8 @@ class Table:
         chunk, local = self.chunk_of(index)
         row, col = chunk.local_cell(local, offset)
         sub, device_row, device_col = chunk.device_cell(row, col)
+        if self.physmem.read_cell(sub, device_row, device_col) != int(value):
+            self.content_version += 1
         if self.ecc is not None:
             self.ecc.write(sub, device_row, device_col, int(value))
             backup = getattr(chunk, "backup", None)

@@ -241,9 +241,11 @@ def registry_for_database(db) -> MetricsRegistry:
     Binds every channel controller's :class:`MemoryStats` (labels:
     system, channel), per-orientation request counters (label:
     orientation), per-bank queue-depth gauges (labels: channel, bank),
-    each cache level's :class:`CacheStats` (label: level) and the
-    synonym directory's :class:`SynonymStats`.  All instruments are
-    source-backed, so one registry stays accurate across
+    each cache level's :class:`CacheStats` (label: level), the synonym
+    directory's :class:`SynonymStats`, and — when the database has one —
+    the template cache's
+    :class:`~repro.cpu.tracetemplate.TemplateCacheStats`.  All
+    instruments are source-backed, so one registry stays accurate across
     ``reset_timing()`` and repeated queries.
     """
     registry = MetricsRegistry()
@@ -279,6 +281,13 @@ def registry_for_database(db) -> MetricsRegistry:
             registry,
             (lambda d=db: d.hierarchy.synonym.stats),
             "synonym",
+            base,
+        )
+    if getattr(db, "template_cache", None) is not None:
+        bind_stats(
+            registry,
+            (lambda d=db: d.template_cache.stats),
+            "template_cache",
             base,
         )
     return registry

@@ -131,6 +131,53 @@ class TestCheckRegression:
         failures = check_regression(self._report(rate=100), path)
         assert failures and "regressed" in failures[0]
 
+    def test_kernel_serving_and_rebind_gates(self, tmp_path):
+        import json
+
+        from repro.harness.perfbench import check_regression
+
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({
+            "replay_after_batched": {"accesses_per_sec": 1000},
+            "replay_after_kernel": {"accesses_per_sec": 4000},
+            "rebind_microbench": {"max_avg_us_per_rebind": 100},
+        }))
+        good = {
+            **self._report(),
+            "replay_after_kernel": {"accesses_per_sec": 3900},
+            "template_serving": {"hit_rate": 0.95},
+            "rebind_microbench": {"avg_us_per_rebind": 60.0},
+        }
+        assert check_regression(good, path) == []
+        bad = {
+            **self._report(),
+            "replay_after_kernel": {"accesses_per_sec": 1000},
+            "template_serving": {"hit_rate": 0.5},
+            "rebind_microbench": {"avg_us_per_rebind": 250.0},
+        }
+        failures = check_regression(bad, path)
+        assert len(failures) == 3
+        assert any("kernel replay regressed" in f for f in failures)
+        assert any("hit rate" in f for f in failures)
+        assert any("rebind regressed" in f for f in failures)
+
+    def test_pre_kernel_baseline_still_gates_batched_only(self, tmp_path):
+        """Baselines committed before the kernel path existed must keep
+        working — only the sections they record are gated."""
+        import json
+
+        from repro.harness.perfbench import check_regression
+
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps({"replay_after_batched": {"accesses_per_sec": 1000}})
+        )
+        new_report = {
+            **self._report(),
+            "replay_after_kernel": {"accesses_per_sec": 1},
+        }
+        assert check_regression(new_report, path) == []
+
 
 class TestStaticFigures:
     def test_table2_lists_all_queries(self):

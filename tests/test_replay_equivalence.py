@@ -48,6 +48,48 @@ def test_batched_replay_is_bit_for_bit(system_name):
         assert precise == batched, (system_name, qid)
 
 
+@pytest.mark.parametrize("system_name", SYSTEMS)
+def test_kernel_replay_is_bit_for_bit(system_name):
+    """The compiled replay kernel is mode three of the same oracle: for
+    every suite query it must match the batched path (and thereby the
+    precise path) bit for bit — including the simulator end state it
+    leaves behind, which downstream reporting reads."""
+    memory = build_system(system_name)
+    db = build_benchmark_database(memory, scale=SCALE)
+    for qid, buffer in _query_traces(db):
+        db.reset_timing()
+        db.machine.replay_mode = "batched"
+        batched = db.machine.run(buffer)
+        batched_state = _simulator_state(db)
+        db.reset_timing()
+        db.machine.replay_mode = "kernel"
+        kernel = db.machine.run(buffer)
+        kernel_state = _simulator_state(db)
+        assert batched == kernel, (system_name, qid)
+        assert batched_state == kernel_state, (system_name, qid)
+
+
+def _simulator_state(db):
+    """Everything a replay leaves behind: cache contents in LRU order,
+    per-level stats, synonym counters, controller stats and bank state."""
+    hierarchy = db.machine.hierarchy
+    state = []
+    for level in hierarchy.levels:
+        state.append(level.stats.snapshot())
+        state.append([list(cache_set.keys()) for cache_set in level.sets])
+    state.append(list(hierarchy._counts))
+    for ctrl in db.memory.controllers:
+        state.append(ctrl.stats.snapshot())
+        state.append(ctrl.bus_free)
+        for bank in ctrl.banks:
+            state.append((
+                bank.open_kind, bank.open_subarray, bank.open_index,
+                bank.open_entry, bank.ready_at, bank.activated_at,
+                bank.accesses, bank.activations,
+            ))
+    return state
+
+
 @pytest.mark.parametrize("system_name", ("RC-NVM", "DRAM"))
 def test_multicore_batched_replay_is_bit_for_bit(system_name):
     from repro.cpu.multicore import MulticoreMachine

@@ -1,0 +1,184 @@
+"""Unit tests for the whole-trace replay kernel (repro.cpu.replaykernel).
+
+Bit-for-bit equivalence against the batched path over the full SQL suite
+lives in ``tests/test_replay_equivalence.py``; these tests pin the
+supporting machinery — mode selection, the eligibility gate's fallback
+decisions, and the end-state reconstruction on a small system.
+"""
+
+import pytest
+
+from repro.cpu.machine import REPLAY_MODES, Machine
+from repro.cpu.replaykernel import kernel_eligible
+from repro.cpu.trace import Op
+from repro.cpu.tracebuffer import TraceBuffer
+from repro.errors import ConfigurationError
+from repro.harness.systems import SMALL_CACHE_CONFIG, build_system
+from repro.imdb.database import Database
+
+
+def _small_db(system="RC-NVM", rows=32):
+    # 32 rows keeps the trace's unique lines within the small LLC's
+    # associativity, so pure-read traces stay kernel-eligible.
+    memory = build_system(system, small=True)
+    db = Database(memory, cache_config=SMALL_CACHE_CONFIG)
+    db.create_table("t", [("f1", 8), ("f2", 8)], layout="row")
+    db.insert_many("t", [(i, i * 3) for i in range(rows)])
+    return db
+
+
+def test_llc_set_overflow_falls_back():
+    # More distinct lines than LLC ways in one set would make the
+    # inclusive LLC evict (and back-invalidate), which the flat cache
+    # model does not track.
+    db = _small_db(rows=64)
+    fin = _read_trace(db).finalize()
+    db.reset_timing()
+    assert not kernel_eligible(db.machine, fin)
+
+
+def _read_trace(db, sql="SELECT SUM(f2) FROM t WHERE f1 > x"):
+    plan = db.plan(sql, params={"x": 10})
+    _result, buffer = db.executor.execute(plan)
+    return buffer
+
+
+class TestModeSelection:
+    def test_replay_modes_constant(self):
+        assert REPLAY_MODES == ("precise", "batched", "kernel")
+
+    def test_invalid_mode_raises(self):
+        db = _small_db()
+        with pytest.raises(ValueError):
+            Machine(db.memory, db.hierarchy, replay_mode="vectorized")
+
+    def test_database_threads_mode_through_reset_timing(self):
+        memory = build_system("DRAM", small=True)
+        db = Database(memory, cache_config=SMALL_CACHE_CONFIG,
+                      replay_mode="kernel")
+        assert db.machine.replay_mode == "kernel"
+        db.reset_timing()
+        assert db.machine.replay_mode == "kernel"
+
+    def test_precise_mode_never_batches(self):
+        db = _small_db()
+        db.replay_mode = "precise"
+        db.reset_timing()
+        buffer = _read_trace(db)
+        precise = db.machine.run(buffer)
+        db.replay_mode = "kernel"
+        db.reset_timing()
+        assert db.machine.run(buffer) == precise
+
+
+class TestEligibility:
+    def test_pure_read_trace_is_eligible(self):
+        db = _small_db()
+        fin = _read_trace(db).finalize()
+        db.reset_timing()
+        assert kernel_eligible(db.machine, fin)
+
+    def test_writes_fall_back(self):
+        db = _small_db()
+        plan = db.plan("UPDATE t SET f2 = 7 WHERE f1 > x", params={"x": 20})
+        _result, buffer = db.executor.execute(plan)
+        fin = buffer.finalize()
+        assert fin.n_writes > 0
+        db.reset_timing()
+        assert not kernel_eligible(db.machine, fin)
+
+    def test_empty_trace_falls_back(self):
+        db = _small_db()
+        db.reset_timing()
+        assert not kernel_eligible(db.machine, TraceBuffer().finalize())
+
+    def test_dirty_simulator_state_falls_back(self):
+        db = _small_db()
+        fin = _read_trace(db).finalize()
+        db.reset_timing()
+        db.machine.run(fin)  # leaves warm caches and touched banks
+        assert not kernel_eligible(db.machine, fin)
+
+    def test_shallow_queue_falls_back(self):
+        # queue_depth <= window could force overflow-driven early
+        # scheduling, which the flat loop does not model.
+        memory = build_system("RC-NVM", small=True, queue_depth=4)
+        db = Database(memory, cache_config=SMALL_CACHE_CONFIG, window=8)
+        db.create_table("t", [("f1", 8), ("f2", 8)], layout="row")
+        db.insert_many("t", [(i, i) for i in range(64)])
+        fin = _read_trace(db).finalize()
+        db.reset_timing()
+        assert not kernel_eligible(db.machine, fin)
+
+    def test_closed_page_policy_falls_back(self):
+        memory = build_system("RC-NVM", small=True, page_policy="closed")
+        db = Database(memory, cache_config=SMALL_CACHE_CONFIG)
+        db.create_table("t", [("f1", 8), ("f2", 8)], layout="row")
+        db.insert_many("t", [(i, i) for i in range(64)])
+        fin = _read_trace(db).finalize()
+        db.reset_timing()
+        assert not kernel_eligible(db.machine, fin)
+
+    def test_mixed_orientation_with_synonym_falls_back(self):
+        # RC-NVM arms a synonym tracker; a trace mixing row and column
+        # lines could charge crossing cycles the flat model skips.
+        db = _small_db("RC-NVM")
+        buffer = TraceBuffer()
+        buffer.emit(int(Op.READ), 0x0, 64, 1)
+        buffer.emit(int(Op.CREAD), 0x40, 64, 1)
+        fin = buffer.finalize()
+        db.reset_timing()
+        assert not kernel_eligible(db.machine, fin)
+
+    def test_fallback_still_replays_correctly(self):
+        db = _small_db()
+        plan = db.plan("UPDATE t SET f2 = 9 WHERE f1 > x", params={"x": 20})
+        _result, buffer = db.executor.execute(plan)
+        db.reset_timing()
+        db.machine.replay_mode = "batched"
+        batched = db.machine.run(buffer)
+        db.reset_timing()
+        db.machine.replay_mode = "kernel"
+        assert db.machine.run(buffer) == batched
+
+
+class TestEndState:
+    def test_kernel_leaves_identical_simulator_state(self):
+        db = _small_db()
+        buffer = _read_trace(db)
+        db.reset_timing()
+        db.machine.replay_mode = "batched"
+        db.machine.run(buffer)
+        expected = self._state(db)
+        db.reset_timing()
+        db.machine.replay_mode = "kernel"
+        db.machine.run(buffer)
+        assert self._state(db) == expected
+
+    def test_repeat_replay_reuses_memoized_columns(self):
+        db = _small_db()
+        fin = _read_trace(db).finalize()
+        db.replay_mode = "kernel"
+        db.reset_timing()
+        first = db.machine.run(fin)
+        assert "static" in fin._kernel_cache
+        assert db.memory.mapper in fin._kernel_cache
+        db.reset_timing()
+        assert db.machine.run(fin) == first
+
+    @staticmethod
+    def _state(db):
+        hierarchy = db.machine.hierarchy
+        state = [list(hierarchy._counts)]
+        for level in hierarchy.levels:
+            state.append(level.stats.snapshot())
+            state.append([list(s.keys()) for s in level.sets])
+        for ctrl in db.memory.controllers:
+            state.append(ctrl.stats.snapshot())
+            state.append(ctrl.bus_free)
+            state.extend(
+                (bank.open_entry, bank.ready_at, bank.activated_at,
+                 bank.accesses, bank.activations)
+                for bank in ctrl.banks
+            )
+        return state

@@ -158,6 +158,60 @@ class TestFinalize:
         assert buffer.finalize() is not first
 
 
+class TestDecodeCaching:
+    """Replaying a finalized trace repeatedly must decode line addresses
+    exactly once per mapper — the regression these tests pin is decode
+    work silently reappearing on the serving path's hot loop."""
+
+    def _counted_mapper(self, monkeypatch, system="RC-NVM"):
+        from repro.harness.systems import build_system
+
+        mapper = build_system(system, small=True).mapper
+        calls = []
+        original = type(mapper).decode_fields
+        monkeypatch.setattr(
+            type(mapper), "decode_fields",
+            lambda self, *a, **kw: calls.append(1) or original(self, *a, **kw),
+        )
+        return mapper, calls
+
+    def test_decode_fields_called_once_per_mapper(self, monkeypatch):
+        mapper, calls = self._counted_mapper(monkeypatch)
+        buffer = TraceBuffer()
+        buffer.extend(_sample_accesses())
+        fin = buffer.finalize()
+        arrays = fin.decoded_arrays_for(mapper)
+        lists = fin.decoded_for(mapper)
+        assert fin.decoded_arrays_for(mapper) is arrays
+        assert fin.decoded_for(mapper) is lists
+        assert len(calls) == 1
+        for column, flat in zip(arrays, lists):
+            assert column.tolist() == flat
+
+    def test_repeat_replay_never_redecodes(self, monkeypatch):
+        from repro.harness.systems import SMALL_CACHE_CONFIG, build_system
+        from repro.imdb.database import Database
+
+        memory = build_system("RC-NVM", small=True)
+        db = Database(memory, cache_config=SMALL_CACHE_CONFIG)
+        db.create_table("t", [("f1", 8)], layout="row")
+        db.insert_many("t", [(i,) for i in range(32)])
+        plan = db.plan("SELECT SUM(f1) FROM t")
+        _result, buffer = db.executor.execute(plan)
+        fin = buffer.finalize()
+        calls = []
+        original = type(memory.mapper).decode_fields
+        monkeypatch.setattr(
+            type(memory.mapper), "decode_fields",
+            lambda self, *a, **kw: calls.append(1) or original(self, *a, **kw),
+        )
+        for mode in ("batched", "kernel", "batched"):
+            db.replay_mode = mode
+            db.reset_timing()
+            db.machine.run(fin)
+        assert len(calls) == 1
+
+
 class TestTraceFileRoundtrip:
     def test_load_trace_buffer_matches_load_trace(self, tmp_path):
         from repro.cpu.tracefile import load_trace, load_trace_buffer, save_trace
