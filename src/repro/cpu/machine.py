@@ -110,7 +110,7 @@ class Machine:
         self._llc_latency = hierarchy.llc.hit_latency
 
     # -- main loop -----------------------------------------------------------
-    def run(self, trace) -> RunResult:
+    def run(self, trace, stream=None) -> RunResult:
         """Execute a trace.
 
         A :class:`~repro.cpu.tracebuffer.TraceBuffer` (or an
@@ -122,7 +122,14 @@ class Machine:
         decisions in the same order, they just precompute everything that
         does not depend on cache or controller state (see
         ``tests/test_replay_equivalence``).
+
+        ``stream`` overrides the trace's tenant stream tag for this run
+        (cached template traces are shared between tenants, so the tag
+        must travel with the replay, not the trace).  ``None`` uses the
+        trace's own tag; plain ``Access`` iterables default to 0.
         """
+        if stream is None:
+            stream = getattr(trace, "stream", 0)
         with obs.span("machine.run") as sp:
             if self.replay_mode != "precise" and isinstance(
                 trace, (TraceBuffer, FinalizedTrace)
@@ -131,11 +138,11 @@ class Machine:
                     trace.finalize() if isinstance(trace, TraceBuffer) else trace
                 )
                 if self.replay_mode == "kernel":
-                    result = self._run_kernel(fin)
+                    result = self._run_kernel(fin, stream)
                 else:
-                    result = self._run_batched(fin)
+                    result = self._run_batched(fin, stream)
             else:
-                result = self._run_precise(trace)
+                result = self._run_precise(trace, stream)
             if sp.enabled:
                 mem = result.memory
                 sp.set(
@@ -154,7 +161,7 @@ class Machine:
                 )
             return result
 
-    def _run_kernel(self, fin) -> RunResult:
+    def _run_kernel(self, fin, stream=0) -> RunResult:
         """Replay via the flat-integer whole-trace kernel when the trace
         and current simulator state admit it; otherwise fall back to the
         batched per-line loop (same result either way — the kernel's
@@ -170,11 +177,11 @@ class Machine:
             raise CapabilityError(
                 f"{self.memory.name} does not support gathered accesses"
             )
-        if kernel_eligible(self, fin):
+        if kernel_eligible(self, fin, stream):
             return run_kernel(self, fin)
-        return self._run_batched(fin)
+        return self._run_batched(fin, stream)
 
-    def _run_precise(self, trace) -> RunResult:
+    def _run_precise(self, trace, stream=0) -> RunResult:
         result = RunResult()
         hierarchy = self.hierarchy
         memory = self.memory
@@ -222,7 +229,7 @@ class Machine:
                     continue
                 # -- LLC miss: fetch the line from main memory.
                 result.llc_misses += 1
-                req = self._line_request(key, access, now + self._llc_latency)
+                req = self._line_request(key, access, now + self._llc_latency, stream)
                 outstanding.append(req)
                 if len(outstanding) > self.window:
                     now = max(now, memory.completion_of(outstanding.popleft()))
@@ -232,7 +239,7 @@ class Machine:
                     result.synonym_cycles += extra
                 for victim_key in hierarchy.drain_writebacks():
                     result.writebacks += 1
-                    self._writeback(victim_key, now)
+                    self._writeback(victim_key, now, stream)
 
         while outstanding:
             now = max(now, memory.completion_of(outstanding.popleft()))
@@ -248,7 +255,7 @@ class Machine:
             result.synonym = hierarchy.synonym.stats.snapshot()
         return result
 
-    def _run_batched(self, fin) -> RunResult:
+    def _run_batched(self, fin, stream=0) -> RunResult:
         """Replay a finalized structure-of-arrays trace.
 
         The per-line work that does not depend on simulator state — line
@@ -351,6 +358,7 @@ class Machine:
                 req = MemRequest(
                     channel, drk[i], dbk[i], dsa[i], drow[i], dcol[i],
                     _ORIENT_OBJS[lorients[i]], False, now + llc_latency,
+                    stream,
                 )
                 controllers[channel].submit(req)
                 outstanding_append(req)
@@ -366,7 +374,7 @@ class Machine:
                 if hierarchy.pending_writebacks:
                     for victim_key in hierarchy.drain_writebacks():
                         writebacks += 1
-                        self._writeback(victim_key, now)
+                        self._writeback(victim_key, now, stream)
                 continue
             # -- special lines: unpins, barriers, writes, pins, gathers.
             if special & LINE_UNPIN:
@@ -401,13 +409,15 @@ class Machine:
                 if coord is None:
                     raise CapabilityError("gather access requires a device coordinate")
                 req = memory.request_for_coord(
-                    coord, Orientation.GATHER, is_write, now + llc_latency
+                    coord, Orientation.GATHER, is_write, now + llc_latency,
+                    stream=stream,
                 )
             else:
                 channel = dch[i]
                 req = MemRequest(
                     channel, drk[i], dbk[i], dsa[i], drow[i], dcol[i],
                     _ORIENT_OBJS[lorients[i]], is_write, now + llc_latency,
+                    stream,
                 )
                 controllers[channel].submit(req)
             outstanding_append(req)
@@ -422,7 +432,7 @@ class Machine:
             if hierarchy.pending_writebacks:
                 for victim_key in hierarchy.drain_writebacks():
                     writebacks += 1
-                    self._writeback(victim_key, now)
+                    self._writeback(victim_key, now, stream)
 
         while outstanding:
             done = completion_of(outstanding_popleft())
@@ -453,16 +463,18 @@ class Machine:
         return result
 
     # -- helpers ----------------------------------------------------------------
-    def _line_request(self, key, access, arrival):
+    def _line_request(self, key, access, arrival, stream=0):
         orientation = key_orientation(key)
         if orientation is Orientation.GATHER:
             if access.coord is None:
                 raise CapabilityError("gather access requires a device coordinate")
             return self.memory.request_for_coord(
-                access.coord, Orientation.GATHER, access.is_write, arrival
+                access.coord, Orientation.GATHER, access.is_write, arrival,
+                stream=stream,
             )
         return self.memory.request_for_line(
-            key_address(key), orientation, access.is_write, arrival
+            key_address(key), orientation, access.is_write, arrival,
+            stream=stream,
         )
 
     def flush_caches(self, now=0, on_line=None):
@@ -486,7 +498,7 @@ class Machine:
         self.memory.flush_buffers()
         return flushed
 
-    def _writeback(self, key, now):
+    def _writeback(self, key, now, stream=0):
         """Post a dirty-victim write to memory (the core does not block).
 
         Returns the posted request, or ``None`` for gather lines (which
@@ -495,7 +507,7 @@ class Machine:
         if orientation is Orientation.GATHER:
             return None
         return self.memory.request_for_line(
-            key_address(key), orientation, True, now
+            key_address(key), orientation, True, now, stream=stream
         )
 
     def _unpin_range(self, access):

@@ -38,11 +38,12 @@ class _SoaCursor:
 
     __slots__ = (
         "pos", "n", "ops", "gaps", "flags", "starts", "counts",
-        "lkeys", "lmasks", "lorients", "coords",
+        "lkeys", "lmasks", "lorients", "coords", "stream",
         "dch", "drk", "dbk", "dsa", "drow", "dcol",
     )
 
-    def __init__(self, fin, mapper):
+    def __init__(self, fin, mapper, stream=None):
+        self.stream = fin.stream if stream is None else stream
         self.ops, self.gaps, self.flags, self.starts, self.counts = (
             fin.access_lists()
         )
@@ -77,6 +78,9 @@ class MulticoreResult:
     coherence: dict = field(default_factory=dict)
     synonym: dict = field(default_factory=dict)
     memory: dict = field(default_factory=dict)
+    #: ``token -> finish clock`` for :meth:`MulticoreMachine.run_segmented`
+    #: (empty for plain :meth:`MulticoreMachine.run`).
+    segment_ends: dict = field(default_factory=dict)
 
     @property
     def cycles(self):
@@ -127,7 +131,7 @@ class MulticoreMachine:
         synonym = SynonymDirectory(memory.mapper) if memory.supports_column else None
         self.directory = MesiDirectory(privates, llc, synonym=synonym)
 
-    def run(self, traces) -> MulticoreResult:
+    def run(self, traces, streams=None) -> MulticoreResult:
         """Run one trace per core to completion.
 
         Cores whose trace is a :class:`TraceBuffer` step over the
@@ -135,14 +139,22 @@ class MulticoreMachine:
         keys/masks/decodes); any other iterable of ``Access`` objects
         keeps the precise per-access path.  The heap interleaving is per
         access either way, so mixing the two kinds is fine.
+
+        ``streams`` optionally gives one tenant stream tag per trace
+        (overriding each trace's own tag) so the controllers' fair-share
+        arbiter can tell the cores' request streams apart.
         """
         if len(traces) > self.n_cores:
             raise ValueError(f"{len(traces)} traces for {self.n_cores} cores")
+        if streams is None:
+            streams = [getattr(trace, "stream", 0) for trace in traces]
+        elif len(streams) != len(traces):
+            raise ValueError("streams must parallel traces")
         memory = self.memory
         cursors = []
         iterators = []
         soa = self.replay_mode != "precise"
-        for trace in traces:
+        for trace, stream in zip(traces, streams):
             if soa and isinstance(trace, TraceBuffer):
                 fin = trace.finalize()
                 # Same errors the precise path raises on the first
@@ -156,7 +168,7 @@ class MulticoreMachine:
                     raise CapabilityError(
                         f"{memory.name} does not support gathered accesses"
                     )
-                cursors.append(_SoaCursor(fin, memory.mapper))
+                cursors.append(_SoaCursor(fin, memory.mapper, stream))
                 iterators.append(None)
             else:
                 cursors.append(None)
@@ -193,7 +205,7 @@ class MulticoreMachine:
                     )
                 results[core].cycles = clocks[core]
                 continue
-            self._step(core, access, clocks, outstanding, results)
+            self._step(core, access, clocks, outstanding, results, streams[core])
             heapq.heappush(active, (clocks[core], core))
         result = MulticoreResult(cores=results)
         self.memory.drain()
@@ -203,8 +215,110 @@ class MulticoreMachine:
         result.memory = self.memory.stats.snapshot()
         return result
 
+    def run_segmented(self, core_segments, on_segment=None,
+                      base_clocks=0) -> MulticoreResult:
+        """Run a queue of trace segments per core, reporting each
+        segment's finish clock.
+
+        ``core_segments`` is one list per core of ``(trace, stream,
+        token)`` tuples — ``trace`` a :class:`TraceBuffer` or
+        :class:`~repro.cpu.tracebuffer.FinalizedTrace`, ``stream`` the
+        tenant tag its requests carry, ``token`` an opaque caller
+        identifier.  Cores step their current segment interleaved at
+        access granularity exactly like :meth:`run`; when a core's
+        segment is exhausted its outstanding misses are drained, the
+        finish clock is recorded under ``token`` in the result's
+        ``segment_ends`` (and passed to ``on_segment(core, token,
+        clock)`` if given), and the core continues with its next segment
+        without resetting its private cache — a session keeps its core's
+        locality across statements.
+
+        This is the serving front end's replay engine
+        (:mod:`repro.serving`): one tenant statement = one segment, so
+        statements from different tenants interleave in the memory
+        controllers at trace granularity while per-statement latencies
+        stay observable.
+
+        ``base_clocks`` starts every core clock at that absolute cycle
+        instead of zero, so successive serving rounds share one time
+        domain with the controller's persistent bus/bank state.
+        """
+        if len(core_segments) > self.n_cores:
+            raise ValueError(
+                f"{len(core_segments)} segment queues for {self.n_cores} cores"
+            )
+        memory = self.memory
+        n = len(core_segments)
+        queues = [list(reversed(segments)) for segments in core_segments]
+        cursors = [None] * n
+        tokens = [None] * n
+        clocks = [int(base_clocks)] * n
+        outstanding = [deque() for _ in range(n)]
+        results = [CoreResult() for _ in range(n)]
+        result = MulticoreResult(cores=results)
+
+        def finish_segment(core):
+            queue = outstanding[core]
+            while queue:
+                clocks[core] = max(
+                    clocks[core], memory.completion_of(queue.popleft())
+                )
+            results[core].cycles = clocks[core]
+            result.segment_ends[tokens[core]] = clocks[core]
+            if on_segment is not None:
+                on_segment(core, tokens[core], clocks[core])
+
+        def load_next(core):
+            while queues[core]:
+                trace, stream, token = queues[core].pop()
+                fin = (
+                    trace.finalize()
+                    if isinstance(trace, TraceBuffer) else trace
+                )
+                if fin.has_column and not memory.supports_column:
+                    raise CapabilityError(
+                        f"{memory.name} does not support column accesses"
+                    )
+                if fin.has_gather and not memory.supports_gather:
+                    raise CapabilityError(
+                        f"{memory.name} does not support gathered accesses"
+                    )
+                cursor = _SoaCursor(fin, memory.mapper, stream)
+                tokens[core] = token
+                if cursor.n == 0:
+                    finish_segment(core)  # empty trace: done at current clock
+                    continue
+                cursors[core] = cursor
+                return True
+            cursors[core] = None
+            return False
+
+        active = []
+        for core in range(n):
+            if load_next(core):
+                active.append((clocks[core], core))
+        heapq.heapify(active)
+        while active:
+            _clock, core = heapq.heappop(active)
+            cursor = cursors[core]
+            position = cursor.pos
+            if position >= cursor.n:
+                finish_segment(core)
+                if load_next(core):
+                    heapq.heappush(active, (clocks[core], core))
+                continue
+            cursor.pos = position + 1
+            self._step_soa(core, cursor, position, clocks, outstanding, results)
+            heapq.heappush(active, (clocks[core], core))
+        memory.drain()
+        result.coherence = self.directory.stats.snapshot()
+        if self.directory.synonym is not None:
+            result.synonym = self.directory.synonym.stats.snapshot()
+        result.memory = memory.stats.snapshot()
+        return result
+
     # -- one trace entry ----------------------------------------------------------
-    def _step(self, core, access, clocks, outstanding, results):
+    def _step(self, core, access, clocks, outstanding, results, stream=0):
         clocks[core] += access.gap
         op = access.op
         if op == Op.UNPIN:
@@ -237,7 +351,7 @@ class MulticoreMachine:
             clocks[core] += extra
             result.coherence_cycles += extra
             for victim_key in writebacks:
-                self._writeback(victim_key, clocks[core])
+                self._writeback(victim_key, clocks[core], stream)
             if hit:
                 result.private_hits += 1
                 continue
@@ -248,7 +362,9 @@ class MulticoreMachine:
                     self.directory.llc.set_pinned(key, True)
                 continue
             result.misses += 1
-            req = self._line_request(key, access, clocks[core] + self.llc_latency)
+            req = self._line_request(
+                key, access, clocks[core] + self.llc_latency, stream
+            )
             outstanding[core].append(req)
             if len(outstanding[core]) > self.window:
                 clocks[core] = max(
@@ -296,7 +412,7 @@ class MulticoreMachine:
                 clocks[core] += extra
                 result.coherence_cycles += extra
             for victim_key in writebacks:
-                self._writeback(victim_key, clocks[core])
+                self._writeback(victim_key, clocks[core], cursor.stream)
             if hit:
                 result.private_hits += 1
                 continue
@@ -315,7 +431,8 @@ class MulticoreMachine:
                         "gather access requires a device coordinate"
                     )
                 req = self.memory.request_for_coord(
-                    coord, Orientation.GATHER, is_write, arrival
+                    coord, Orientation.GATHER, is_write, arrival,
+                    stream=cursor.stream,
                 )
             else:
                 channel = cursor.dch[k]
@@ -323,6 +440,7 @@ class MulticoreMachine:
                     channel, cursor.drk[k], cursor.dbk[k], cursor.dsa[k],
                     cursor.drow[k], cursor.dcol[k],
                     _ORIENT_OBJS[cursor.lorients[k]], is_write, arrival,
+                    cursor.stream,
                 )
                 self.memory.controllers[channel].submit(req)
             queue.append(req)
@@ -333,23 +451,27 @@ class MulticoreMachine:
             if pin:
                 directory.llc.set_pinned(key, True)
 
-    def _line_request(self, key, access, arrival):
+    def _line_request(self, key, access, arrival, stream=0):
         orientation = key_orientation(key)
         if orientation is Orientation.GATHER:
             if access.coord is None:
                 raise CapabilityError("gather access requires a device coordinate")
             return self.memory.request_for_coord(
-                access.coord, orientation, access.is_write, arrival
+                access.coord, orientation, access.is_write, arrival,
+                stream=stream,
             )
         return self.memory.request_for_line(
-            key_address(key), orientation, access.is_write, arrival
+            key_address(key), orientation, access.is_write, arrival,
+            stream=stream,
         )
 
-    def _writeback(self, key, now):
+    def _writeback(self, key, now, stream=0):
         orientation = key_orientation(key)
         if orientation is Orientation.GATHER:
             return
-        self.memory.request_for_line(key_address(key), orientation, True, now)
+        self.memory.request_for_line(
+            key_address(key), orientation, True, now, stream=stream
+        )
 
     @staticmethod
     def _word_mask(access, line_index):

@@ -111,7 +111,7 @@ def _channel_columns(fin, memory):
     return cached
 
 
-def kernel_eligible(machine, fin):
+def kernel_eligible(machine, fin, stream=None):
     """Can :func:`run_kernel` replay ``fin`` on ``machine`` bit-for-bit?
 
     Checks trace shape (pure reads, single orientation under a synonym
@@ -120,7 +120,21 @@ def kernel_eligible(machine, fin):
     deeper than the MSHR window).  Trace-shape verdicts are memoized on
     the trace, so re-checking a cached template costs only the O(banks)
     state probes.
+
+    Multi-tenant serving is explicitly rejected rather than silently
+    diverging: a nonzero ``stream`` (the replay-time tag, defaulting to
+    the trace's own) means this replay interleaves with other tenants'
+    traffic, and a controller with per-stream tallies enabled
+    (``track_streams``) or queued streams would not have its fair-share
+    state advanced by the kernel's bulk stats writeback.  The pristine
+    checks below already catch dirty caches/LLC state left by a prior
+    tenant; these checks make the *intent* (single untagged stream on
+    fresh state) explicit and tested.
     """
+    if stream is None:
+        stream = fin.stream
+    if stream:
+        return False
     keys = fin.line_key
     if keys.shape[0] == 0:
         return False
@@ -178,6 +192,8 @@ def kernel_eligible(machine, fin):
         if ctrl.reads_pending or ctrl.writes_pending or ctrl.draining:
             return False
         if ctrl.bus_free or ctrl.queue_depth <= window:
+            return False
+        if ctrl.track_streams or ctrl._read_streams or ctrl._write_streams:
             return False
         if ctrl.stats != fresh_mem:
             return False

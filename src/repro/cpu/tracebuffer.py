@@ -66,6 +66,7 @@ class TraceBuffer:
         "_n",
         "_pending",
         "coords",
+        "stream",
         "_finalized",
     )
 
@@ -81,6 +82,11 @@ class TraceBuffer:
         self._pending = []
         #: Sparse side table: position -> device Coordinate (gathers only).
         self.coords = {}
+        #: Tenant stream tag (0 = untagged); carried into the finalized
+        #: trace and onto every :class:`MemRequest` the replay issues.
+        #: Replay-time callers may override it per run (shared cached
+        #: traces are replayed by many tenants) via ``Machine.run``.
+        self.stream = 0
         self._finalized = None
 
     # -- appending -----------------------------------------------------------
@@ -259,6 +265,10 @@ class TraceBuffer:
         if self._finalized is None:
             self._flush()
             self._finalized = FinalizedTrace(self)
+        elif self._finalized.stream != self.stream:
+            # Retagging the buffer must not force a rebuild of the cached
+            # line arrays — only the tag travels.
+            self._finalized.stream = self.stream
         return self._finalized
 
 
@@ -271,6 +281,7 @@ class FinalizedTrace:
         "n_writes",
         "n_lines",
         "coords",
+        "stream",
         "line_key",
         "line_gap",
         "line_special",
@@ -295,6 +306,7 @@ class FinalizedTrace:
     def __init__(self, buffer: TraceBuffer):
         op, address, size, gap, flags, orient = buffer.columns()
         self.coords = buffer.coords
+        self.stream = buffer.stream
         n = op.shape[0]
         is_unpin = op == int(Op.UNPIN)
         is_write = (op == int(Op.WRITE)) | (op == int(Op.CWRITE))

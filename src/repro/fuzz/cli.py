@@ -53,6 +53,10 @@ def main(argv=None):
                              "RC-NVM stacks with a seeded crash injector and "
                              "check recovered state against sqlite's "
                              "committed prefix")
+    parser.add_argument("--tenants", type=int, default=0, metavar="N",
+                        help="multi-tenant mode: N namespaced tenants "
+                             "interleaved on one shared database, each "
+                             "checked against its single-tenant oracle")
     args = parser.parse_args(argv)
 
     start = time.time()
@@ -76,6 +80,20 @@ def main(argv=None):
         return 0
 
     iterations = min(args.iterations, 25) if args.smoke else args.iterations
+    if args.tenants:
+        from repro.fuzz.tenants import run_tenant_fuzz
+
+        report = run_tenant_fuzz(
+            seed=args.seed,
+            iterations=iterations,
+            n_tenants=args.tenants,
+            max_failures=args.max_failures,
+            progress=print,
+        )
+        print(report.summary())
+        print(f"[{report.iterations} multi-tenant cases in "
+              f"{time.time() - start:.1f}s]")
+        return 0 if report.ok else 1
     if args.crash:
         report = run_crash_fuzz(
             seed=args.seed,

@@ -1,0 +1,118 @@
+"""Multi-tenant fuzz mode: interleaved tenants vs. per-tenant oracles.
+
+Each tenant gets its own generated :class:`~repro.fuzz.grammar.FuzzCase`
+with every table renamed into a tenant-private namespace (``t0ta``,
+``t1ta``, ...).  All tenants' tables load into ONE shared database and
+their statements execute round-robin interleaved, each tagged with the
+tenant's stream id (exactly how :mod:`repro.serving` drives the stack).
+Because the namespaces are disjoint, the interleaving must not change
+any tenant's results — so the oracle is free: the same case executed
+alone on a fresh single-tenant database, statement by statement.
+
+Raw grammar statements (pre-rendered SQL strings) are skipped: their
+text embeds table names the renamer cannot see.
+"""
+
+import copy
+
+from repro.fuzz.grammar import CaseGenerator, FuzzCase, render_sql
+from repro.fuzz.oracle import CONFIGS, build_database, normalize
+from repro.fuzz.runner import Failure, FuzzReport
+from repro.errors import SqlError
+
+
+def prefix_case(case, prefix):
+    """A deep copy of ``case`` with every table renamed ``prefix + name``."""
+    renamed = FuzzCase.from_dict(copy.deepcopy(case.to_dict()))
+    mapping = {}
+    for spec in renamed.tables:
+        mapping[spec.name] = prefix + spec.name
+        spec.name = prefix + spec.name
+    for stmt in renamed.statements:
+        for key in ("table", "left", "right"):
+            if key in stmt and stmt[key] in mapping:
+                stmt[key] = mapping[stmt[key]]
+        if stmt.get("kind") == "join":
+            stmt["items"] = [
+                [mapping.get(table, table), field]
+                for table, field in stmt["items"]
+            ]
+    return renamed
+
+
+def _merged_case(cases):
+    """One case holding every tenant's (already prefixed) tables."""
+    return FuzzCase(
+        seed=cases[0].seed,
+        note="multi-tenant merge",
+        tables=[spec for case in cases for spec in case.tables],
+        statements=[],
+    )
+
+
+def _execute(db, sql, params, stream=0):
+    """(normalized result, error-class name) for one statement."""
+    try:
+        outcome = db.execute(sql, params=params, simulate=False, stream=stream)
+    except SqlError as exc:
+        return None, type(exc).__name__
+    return normalize(outcome.result), None
+
+
+def run_tenant_case(seed, index, n_tenants=2, config_key="rcnvm-row"):
+    """One interleaved multi-tenant case; returns discrepancy strings."""
+    config = CONFIGS[config_key]
+    generator = CaseGenerator(seed)
+    cases = [
+        prefix_case(generator.case(index * n_tenants + tenant), f"t{tenant}")
+        for tenant in range(n_tenants)
+    ]
+    shared = build_database(config, _merged_case(cases))
+    oracles = [build_database(config, case) for case in cases]
+
+    problems = []
+    statements = 0
+    depth = max(len(case.statements) for case in cases)
+    for position in range(depth):
+        for tenant, case in enumerate(cases):
+            if position >= len(case.statements):
+                continue
+            stmt = case.statements[position]
+            if stmt.get("kind") == "raw":
+                continue
+            sql, params = render_sql(stmt)
+            statements += 1
+            tag = f"tenant{tenant} stmt[{position}] {sql!r}"
+            got, got_error = _execute(shared, sql, params, stream=tenant + 1)
+            want, want_error = _execute(oracles[tenant], sql, params)
+            if got_error != want_error:
+                problems.append(
+                    f"{tag}: interleaved error {got_error} != solo {want_error}"
+                )
+            elif got != want:
+                problems.append(
+                    f"{tag}: interleaved result diverged from the "
+                    f"single-tenant oracle: {got!r} != {want!r}"
+                )
+    return problems, statements, cases
+
+
+def run_tenant_fuzz(seed=0, iterations=50, n_tenants=2,
+                    config_key="rcnvm-row", max_failures=3, progress=None):
+    """The multi-tenant fuzzing loop; returns a FuzzReport."""
+    report = FuzzReport(seed=seed)
+    for index in range(iterations):
+        problems, statements, cases = run_tenant_case(
+            seed, index, n_tenants=n_tenants, config_key=config_key
+        )
+        report.iterations += 1
+        report.statements += statements
+        if problems:
+            report.failures.append(
+                Failure(iteration=index, case=cases[0], problems=problems)
+            )
+            if progress is not None:
+                progress(f"iteration {index}: {len(problems)} discrepancies")
+            if len(report.failures) >= max_failures:
+                break
+    return report

@@ -9,11 +9,13 @@ Installed as ``rcnvm-experiments``::
     rcnvm-experiments fuzz --seed 0 --iterations 200
     rcnvm-experiments profile --query q7 --system rcnvm
     rcnvm-experiments recover --smoke
+    rcnvm-experiments serve --tenants 8 --arrival mixed
 
-The ``fuzz``, ``profile``, and ``recover`` subcommands have their own
-flags and dispatch to :mod:`repro.fuzz.cli` (differential SQL fuzzing),
-:mod:`repro.harness.profiling` (query-scoped tracing spans + metric
-tables), and :mod:`repro.harness.recover` (durability crash-site sweep;
+The ``fuzz``, ``profile``, ``recover``, and ``serve`` subcommands have
+their own flags and dispatch to :mod:`repro.fuzz.cli` (differential SQL
+fuzzing), :mod:`repro.harness.profiling` (query-scoped tracing spans +
+metric tables), :mod:`repro.harness.recover` (durability crash-site
+sweep), and :mod:`repro.harness.serve` (multi-tenant serving front end;
 see EXPERIMENTS.md).
 """
 
@@ -161,6 +163,10 @@ def main(argv=None):
         from repro.harness.recover import main as recover_main
 
         return recover_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.harness.serve import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rcnvm-experiments",
         description="Regenerate the RC-NVM paper's tables and figures.",

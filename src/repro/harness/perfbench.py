@@ -26,6 +26,13 @@ statement/access rates, and the **rebind microbenchmark** times the
 parameter-rebind path (cached trace reused, result recomputed) in
 microseconds per rebind.
 
+A **multi-tenant serving scenario** (``repro.serving``) rides along
+too: four mixed-arrival tenants interleaved across a multicore machine,
+reporting wall-clock statements/sec plus deterministic simulated-cycle
+metrics — fairness (max/min tenant throughput) and the per-stream
+row-buffer hit-rate delta against a global-FIFO baseline — which the
+regression gate fences when the committed baseline records limits.
+
 Also reported: per-access memory of both trace representations (the
 ``__slots__``-objects list vs the NumPy columns) and the process's peak
 RSS.  Results are written as JSON (``BENCH_trace_pipeline.json``); see
@@ -208,6 +215,38 @@ def _rebind_microbench(scale, n=16, system="RC-NVM", sched_kwargs=None):
     }
 
 
+def _multi_tenant_serving(scale, sched_kwargs=None):
+    """The multi-tenant serving scenario (``repro.serving``).
+
+    Four mixed-arrival tenants on the small geometry, with the
+    global-FIFO baseline comparison.  The simulated-cycle metrics
+    (fairness, per-stream hit-rate delta vs FIFO) are deterministic and
+    gateable; the wall-clock statements/sec measures front-end overhead.
+    """
+    from repro.harness.serve import run_serving
+
+    start = time.perf_counter()
+    result = run_serving(
+        scale=min(scale, 0.05), n_tenants=4, mean_gap=10_000,
+        n_statements=4, small=True, seed=0, sched_kwargs=sched_kwargs,
+    )
+    elapsed = time.perf_counter() - start
+    report = result["report"]
+    statements = report["statements"]
+    return {
+        "tenants": len(report["tenants"]),
+        "statements": statements,
+        "shed": report["shed"],
+        "makespan_cycles": report["makespan"],
+        "fairness": round(report["fairness"], 4),
+        "stream_hit_rate": round(result["stream_hit_rate"], 4),
+        "fifo_hit_rate": round(result["baseline"]["stream_hit_rate"], 4),
+        "hit_rate_delta": round(result["hit_rate_delta"], 4),
+        "wall_seconds": round(elapsed, 4),
+        "statements_per_sec": round(statements / elapsed) if elapsed else None,
+    }
+
+
 def run_perfbench(scale=0.1, systems=FIGURE_SYSTEMS, qids=SQL_BENCHMARK_IDS,
                   rounds=3, sched_kwargs=None, serving_rounds=3):
     """Run the full benchmark; returns the result dict (JSON-ready)."""
@@ -292,6 +331,7 @@ def run_perfbench(scale=0.1, systems=FIGURE_SYSTEMS, qids=SQL_BENCHMARK_IDS,
             sched_kwargs=sched_kwargs,
         ),
         "rebind_microbench": _rebind_microbench(scale, sched_kwargs=sched_kwargs),
+        "serving": _multi_tenant_serving(scale, sched_kwargs=sched_kwargs),
         "allocation": _measure_allocation(work),
         "peak_rss_kib": peak_rss_kib,
     }
@@ -369,6 +409,30 @@ def check_regression(report, baseline_path, max_regression=0.25):
             f"rebind regressed: {measured_us} us/rebind > "
             f"baseline ceiling {ceiling} us"
         )
+    # Serving gate: only when the baseline opts in by recording fences.
+    # The fenced metrics are simulated-cycle quantities (deterministic),
+    # so the fences are tight, not variance-padded.
+    fences = baseline.get("serving")
+    serving = report.get("serving")
+    if fences and serving:
+        max_fairness = fences.get("max_fairness")
+        if max_fairness is not None and serving["fairness"] > max_fairness:
+            failures.append(
+                f"serving fairness regressed: max/min throughput "
+                f"{serving['fairness']} > ceiling {max_fairness}"
+            )
+        min_delta = fences.get("min_hit_rate_delta")
+        if min_delta is not None and serving["hit_rate_delta"] < min_delta:
+            failures.append(
+                f"serving locality regressed: per-stream hit rate delta "
+                f"{serving['hit_rate_delta']:+.4f} vs global FIFO is below "
+                f"floor {min_delta:+.4f}"
+            )
+        if serving["shed"] and not fences.get("allow_shed"):
+            failures.append(
+                f"serving shed {serving['shed']} statements at the "
+                "benchmark load (admission control should be idle here)"
+            )
     return failures
 
 
@@ -425,6 +489,13 @@ def main(argv=None):
           else "template serving : (no lookups)")
     print(f"rebind           : {rebind['avg_us_per_rebind']} us/rebind "
           f"over {rebind['rebinds']} rebinds")
+    srv = report["serving"]
+    print(f"serving          : {srv['tenants']} tenants, "
+          f"{srv['statements_per_sec']} statements/sec wall, "
+          f"fairness {srv['fairness']:.2f}, "
+          f"hit rate {srv['stream_hit_rate']:.3f} vs "
+          f"FIFO {srv['fifo_hit_rate']:.3f} "
+          f"({srv['hit_rate_delta']:+.3f})")
     print(f"written to       : {args.out}")
     if report["equivalence"]["mismatches"]:
         print("FAIL: batched replay diverged from the precise path", file=sys.stderr)

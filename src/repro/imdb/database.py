@@ -385,13 +385,16 @@ class Database:
         simulate=True,
         fresh_timing=True,
         verify=None,
+        stream=0,
     ) -> ExecutionOutcome:
         """Parse, plan, execute, and (optionally) time one statement.
 
         ``fresh_timing`` resets caches/banks first so results are
         comparable across queries; ``verify`` (default: the database's
         ``verify`` flag) cross-checks the result against the naive
-        reference engine.
+        reference engine.  ``stream`` tags the statement's memory
+        requests with a tenant stream id (0 = untagged) — the tag rides
+        the replay, not the (possibly shared, template-cached) trace.
         """
         if self.durability is not None:
             # A fresh statement group: records a failed prior statement
@@ -427,7 +430,7 @@ class Database:
                     self.reference.execute(statement, params) if verify else None
                 )
                 versions_before = cache.versions_of(plan) if use_cache else None
-                result, trace = self.executor.execute(plan)
+                result, trace = self.executor.execute(plan, stream=stream)
                 if expected is not None:
                     _check_result(sql, result, expected)
                 if use_cache:
@@ -436,7 +439,7 @@ class Database:
             if simulate:
                 if fresh_timing:
                     self.reset_timing()
-                timing = self.machine.run(trace)
+                timing = self.machine.run(trace, stream=stream)
                 timing.degradation_events = self.degradation_events[events_before:]
             if qsp.enabled:
                 qsp.set(trace_length=len(trace))

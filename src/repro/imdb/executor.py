@@ -64,13 +64,15 @@ class Executor:
         self._gather_spaces = {}
 
     # -- public entry --------------------------------------------------------
-    def execute(self, plan):
+    def execute(self, plan, stream=0):
         """Run ``plan``; returns ``(QueryResult, trace)``.
 
         The trace is a :class:`~repro.cpu.tracebuffer.TraceBuffer` — a
         columnar drop-in for ``List[Access]`` that the machine models
-        replay through their batched fast path."""
+        replay through their batched fast path.  ``stream`` stamps the
+        produced trace with the issuing tenant's stream tag."""
         trace = TraceBuffer()
+        trace.stream = stream
         with obs.span(f"operator:{type(plan).__name__}") as sp:
             if isinstance(plan, FilterFetchPlan):
                 result = self._run_filter_fetch(plan, trace)

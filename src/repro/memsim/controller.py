@@ -15,6 +15,18 @@ a configurable policy stack:
   watermark the controller drains writes until the low watermark, and
   otherwise serves them only when no reads are waiting.  This keeps
   NVM's slow writes off the read critical path (Yoon et al., ICCD 2012).
+* **Fair-share streams** — requests carry a tenant ``stream`` tag
+  (:attr:`MemRequest.stream`; 0 means untagged).  While more than one
+  stream is queued in a class, a deficit-round-robin arbiter picks which
+  stream the next FR-FCFS decision is restricted to: locality-aware
+  *within* a stream, round-robin with a ``stream_quantum`` deficit
+  *across* streams (Yoon et al.'s hybrid-memory arbitration by
+  row-buffer locality, applied per tenant).  The starvation age cap
+  stays global — a request bypassed ``age_cap`` times is serviced
+  unconditionally regardless of whose turn it is — so cross-stream
+  bypasses keep the same worst-case queueing bound as single-stream
+  FR-FCFS.  With at most one stream queued the arbiter never engages
+  and scheduling is bit-for-bit the single-stream behaviour.
 * **Page policy** — ``open`` keeps the row/column buffer open after an
   access (best for streams), ``closed`` precharges immediately (best for
   random conflict traffic, since the precharge hides in idle time), and
@@ -65,7 +77,7 @@ class ChannelController:
     def __init__(self, geometry, timing, supports_column, queue_depth=32,
                  policy="frfcfs", page_policy="open", write_queue_depth=None,
                  age_cap=16, drain_high=0.75, drain_low=0.25,
-                 adaptive_threshold=4):
+                 adaptive_threshold=4, stream_quantum=4, track_streams=False):
         if policy not in self.POLICIES:
             raise ValueError(f"unknown scheduling policy {policy!r}")
         if page_policy not in self.PAGE_POLICIES:
@@ -80,6 +92,8 @@ class ChannelController:
             raise ValueError("age_cap must be at least 1")
         if adaptive_threshold < 1:
             raise ValueError("adaptive_threshold must be at least 1")
+        if stream_quantum < 1:
+            raise ValueError("stream_quantum must be at least 1")
         self.geometry = geometry
         self.timing = timing
         self.supports_column = supports_column
@@ -109,6 +123,22 @@ class ChannelController:
         #: counters when the class it is picking from has a starved entry.
         self._starved_reads = 0
         self._starved_writes = 0
+        #: Fair-share arbitration state.  Per-class pending counts per
+        #: stream (entries pruned at zero, so ``len(dict) > 1`` means the
+        #: arbiter must engage for that class), the deficit-round-robin
+        #: rotation (insertion-ordered stream list + pointer + per-stream
+        #: credit in requests), and optional per-stream service tallies.
+        self.stream_quantum = stream_quantum
+        self.track_streams = track_streams
+        self._read_streams = {}
+        self._write_streams = {}
+        self._stream_order = []
+        self._stream_rr = 0
+        self._stream_credit = {}
+        #: ``stream -> [reads, writes, buffer_hits, total_latency_cycles]``
+        #: maintained only when ``track_streams`` is set (see
+        #: :meth:`stream_snapshot`).
+        self.stream_stats = {}
         self._seq = itertools.count()
         self.bus_free = 0
         self.stats = MemoryStats()
@@ -131,10 +161,21 @@ class ChannelController:
         queues = self.write_queues if req.is_write else self.read_queues
         bank_queue = queues[bank_index]
         bank_queue.append(entry)
+        stream = req.stream
         if req.is_write:
             self.writes_pending += 1
+            streams = self._write_streams
         else:
             self.reads_pending += 1
+            streams = self._read_streams
+        count = streams.get(stream)
+        if count is None:
+            streams[stream] = 1
+            if stream not in self._stream_credit:
+                self._stream_order.append(stream)
+                self._stream_credit[stream] = self.stream_quantum
+        else:
+            streams[stream] = count + 1
         # -- occupancy telemetry
         stats = self.stats
         total = self.reads_pending + self.writes_pending
@@ -221,6 +262,9 @@ class ChannelController:
                 else:
                     self._starved_reads -= 1
                 return starved
+        stream_pending = self._write_streams if is_write_class else self._read_streams
+        if len(stream_pending) > 1:
+            return self._pick_frfcfs_stream(queues, is_write_class, stream_pending)
         banks = self.banks
         oldest = None
         ready = None
@@ -262,6 +306,113 @@ class ChannelController:
                 self._starved_reads += newly_starved
         return ready
 
+    def _next_stream(self, stream_pending):
+        """Deficit-round-robin choice among streams with pending requests.
+
+        Streams rotate in first-seen order; a stream keeps its turn while
+        it has credit (``stream_quantum`` requests per replenish) and is
+        skipped while it has nothing queued in the class being picked.
+        Credit is charged per pick in `_pick_frfcfs_stream`.
+        """
+        order = self._stream_order
+        credit = self._stream_credit
+        n = len(order)
+        rotations = 0
+        for _ in range(2 * n):
+            stream = order[self._stream_rr % n]
+            if stream in stream_pending:
+                if credit[stream] > 0:
+                    if rotations:
+                        self.stats.stream_rotations += rotations
+                    return stream
+                credit[stream] = self.stream_quantum
+                rotations += 1
+            self._stream_rr = (self._stream_rr + 1) % n
+        # Unreachable while pending counts are maintained correctly: two
+        # passes replenish every active stream's credit.
+        raise AssertionError("no queued stream found")  # pragma: no cover
+
+    def _pick_frfcfs_stream(self, queues, is_write_class, stream_pending):
+        """FR-FCFS pick restricted to the deficit-round-robin stream.
+
+        Same first-ready-else-oldest rule as the single-stream scan, but
+        only entries of the arbiter-chosen stream are candidates.  Bypass
+        bookkeeping still covers *every* older queued entry — other
+        streams' requests age toward the (global) starvation cap while
+        they wait their turn, preserving the single-stream worst-case
+        queueing bound.
+        """
+        stream = self._next_stream(stream_pending)
+        banks = self.banks
+        oldest = None
+        ready = None
+        any_ready = None
+        for queue in queues:
+            if not queue:
+                continue
+            open_entry = banks[queue[0].bank_index].open_entry
+            seen_first = False
+            matched_other = False
+            for entry in queue:
+                if not seen_first and entry.req.stream == stream:
+                    seen_first = True
+                    if oldest is None or entry.seq < oldest.seq:
+                        oldest = entry
+                if entry.req.want == open_entry:
+                    if entry.req.stream == stream:
+                        if ready is None or entry.seq < ready.seq:
+                            ready = entry
+                        break  # this queue's first in-stream hit
+                    if not matched_other:
+                        matched_other = True
+                        if any_ready is None or entry.seq < any_ready.seq:
+                            any_ready = entry
+        if ready is not None:
+            chosen = ready
+            # Charge the quantum here, not in `_schedule_one`: forced
+            # starvation-cap picks and single-stream picks don't spend
+            # credit.
+            self._stream_credit[stream] -= 1
+        elif any_ready is not None:
+            # Work-conserving opportunism: the turn-holding stream has no
+            # open-row hit anywhere, so take another stream's ready hit
+            # instead of forcing a conflict.  Hits ride free (no credit
+            # charged, the DRR turn stays put); activations remain
+            # arbitrated, and bypass aging below still walks the skipped
+            # stream's oldest entry toward the global starvation cap.
+            chosen = any_ready
+            self.stats.opportunistic_stream_hits += 1
+        else:
+            chosen = oldest
+            self._stream_credit[stream] -= 1
+        # -- bypass bookkeeping over every older entry, any stream
+        chosen_seq = chosen.seq
+        stats = self.stats
+        max_bypass = stats.max_bypass
+        age_cap = self.age_cap
+        newly_starved = 0
+        cross_stream = 0
+        for queue in queues:
+            for entry in queue:
+                if entry.seq >= chosen_seq:
+                    break
+                bypassed = entry.bypassed + 1
+                entry.bypassed = bypassed
+                if entry.req.stream != stream:
+                    cross_stream += 1
+                if bypassed > max_bypass:
+                    max_bypass = bypassed
+                if bypassed == age_cap:
+                    newly_starved += 1
+        stats.max_bypass = max_bypass
+        stats.cross_stream_bypasses += cross_stream
+        if newly_starved:
+            if is_write_class:
+                self._starved_writes += newly_starved
+            else:
+                self._starved_reads += newly_starved
+        return chosen
+
     def _schedule_one(self):
         # Inlined self._pick(): one call per serviced request matters here.
         queues = self._candidate_queues()
@@ -273,12 +424,20 @@ class ChannelController:
         else:
             entry = self._pick_frfcfs(queues)
         req = entry.req
+        stream = req.stream
         if req.is_write:
             self.write_queues[entry.bank_index].remove(entry)
             self.writes_pending -= 1
+            streams = self._write_streams
         else:
             self.read_queues[entry.bank_index].remove(entry)
             self.reads_pending -= 1
+            streams = self._read_streams
+        count = streams[stream] - 1
+        if count:
+            streams[stream] = count
+        else:
+            del streams[stream]
         bank_index = entry.bank_index
         bank = self.banks[bank_index]
         stats = self.stats
@@ -310,6 +469,17 @@ class ChannelController:
         bucket = latency.bit_length()
         hist.buckets[bucket] = hist.buckets.get(bucket, 0) + 1
         hist.count += 1
+        if self.track_streams:
+            tally = self.stream_stats.get(stream)
+            if tally is None:
+                tally = self.stream_stats[stream] = [0, 0, 0, 0]
+            if req.is_write:
+                tally[1] += 1
+            else:
+                tally[0] += 1
+            if stats.buffer_hits > hits_before:
+                tally[2] += 1
+            tally[3] += latency
         # -- page policy
         if self.page_policy == "closed":
             self._close(bank)
@@ -348,6 +518,25 @@ class ChannelController:
             self._close(bank)
         self._conflict_streak[bank_index] = streak
 
+    def stream_snapshot(self):
+        """Per-stream service tallies: ``{stream: {...}}`` (needs
+        ``track_streams``; empty otherwise).  ``hit_rate`` is the
+        stream's row/column-buffer hit rate — the fairness experiments
+        compare it against a global-FIFO baseline per tenant."""
+        snapshot = {}
+        for stream, (reads, writes, hits, latency) in self.stream_stats.items():
+            accesses = reads + writes
+            snapshot[stream] = {
+                "reads": reads,
+                "writes": writes,
+                "accesses": accesses,
+                "buffer_hits": hits,
+                "hit_rate": hits / accesses if accesses else 0.0,
+                "total_latency_cycles": latency,
+                "average_latency": latency / accesses if accesses else 0.0,
+            }
+        return snapshot
+
     # -- maintenance ---------------------------------------------------------
     def flush_all(self, now=0):
         """Close every open buffer (e.g. between benchmark phases)."""
@@ -367,6 +556,12 @@ class ChannelController:
         self._last_closed = [None] * len(self.banks)
         self._starved_reads = 0
         self._starved_writes = 0
+        self._read_streams = {}
+        self._write_streams = {}
+        self._stream_order = []
+        self._stream_rr = 0
+        self._stream_credit = {}
+        self.stream_stats = {}
         self._seq = itertools.count()
         self.bus_free = 0
         self.stats = MemoryStats()

@@ -32,10 +32,16 @@ class MemRequest:
         "buffer_kind",
         "buffer_index",
         "want",
+        "stream",
     )
 
-    def __init__(self, channel, rank, bank, subarray, row, col, orientation, is_write, arrival):
+    def __init__(self, channel, rank, bank, subarray, row, col, orientation, is_write, arrival,
+                 stream=0):
         self.req_id = next(_request_ids)
+        #: Tenant stream tag (0 = untagged / single-stream).  The fair-share
+        #: arbiter in :class:`~repro.memsim.controller.ChannelController`
+        #: only engages when more than one stream is queued.
+        self.stream = stream
         self.channel = channel
         self.rank = rank
         self.bank = bank

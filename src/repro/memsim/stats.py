@@ -126,6 +126,18 @@ class MemoryStats:
     max_queue_occupancy: int = 0
     #: Deepest any single bank's (read or write) queue ever got.
     max_bank_queue_occupancy: int = 0
+    # -- fair-share (multi-tenant) telemetry ----------------------------------
+    #: Bypasses where the fair-share arbiter favoured another tenant's
+    #: stream over a globally older request (subset of all bypasses;
+    #: always 0 when at most one stream is queued).
+    cross_stream_bypasses: int = 0
+    #: Times the deficit-round-robin arbiter exhausted a stream's quantum
+    #: and rotated to the next active stream.
+    stream_rotations: int = 0
+    #: Work-conserving picks: the turn-holding stream had no open-row hit,
+    #: so another stream's ready hit was served instead of forcing a
+    #: buffer conflict (no credit charged).
+    opportunistic_stream_hits: int = 0
     # -- reliability accounting ----------------------------------------------
     #: Row-granularity reads issued by the scrub scheduler (not part of
     #: ``reads``: scrubbing is background traffic, but its cost must show
@@ -175,6 +187,9 @@ class MemoryStats:
         "queue_occupancy_samples": "counter",
         "max_queue_occupancy": "gauge",
         "max_bank_queue_occupancy": "gauge",
+        "cross_stream_bypasses": "counter",
+        "stream_rotations": "counter",
+        "opportunistic_stream_hits": "counter",
         "scrub_reads": "counter",
         "scrub_cycles": "counter",
         "wal_records": "counter",

@@ -62,7 +62,8 @@ class MemorySystem:
         ]
 
     # -- request construction ------------------------------------------------
-    def request_for_coord(self, coord: Coordinate, orientation, is_write, arrival):
+    def request_for_coord(self, coord: Coordinate, orientation, is_write, arrival,
+                          stream=0):
         """Build and submit a request for the line containing ``coord``."""
         if orientation is Orientation.COLUMN and not self.supports_column:
             raise CapabilityError(f"{self.name} does not support column accesses")
@@ -78,11 +79,13 @@ class MemorySystem:
             orientation=orientation,
             is_write=is_write,
             arrival=arrival,
+            stream=stream,
         )
         self.controllers[coord.channel].submit(req)
         return req
 
-    def request_for_line(self, line_address, orientation, is_write, arrival):
+    def request_for_line(self, line_address, orientation, is_write, arrival,
+                         stream=0):
         """Build and submit a request for a 64-byte line address.
 
         ``line_address`` is a byte address in the given orientation's
@@ -91,7 +94,8 @@ class MemorySystem:
         """
         decode_as = Orientation.ROW if orientation is not Orientation.COLUMN else orientation
         coord = self.mapper.decode(line_address, decode_as)
-        return self.request_for_coord(coord, orientation, is_write, arrival)
+        return self.request_for_coord(coord, orientation, is_write, arrival,
+                                      stream=stream)
 
     # -- completion ------------------------------------------------------------
     def completion_of(self, req):
@@ -146,6 +150,39 @@ class MemorySystem:
         merged = MemoryStats()
         for ctrl in self.controllers:
             merged = merged.merge(ctrl.stats)
+        return merged
+
+    @property
+    def track_streams(self):
+        """True when any channel keeps per-stream service tallies."""
+        return any(ctrl.track_streams for ctrl in self.controllers)
+
+    def enable_stream_tracking(self, enabled=True):
+        """Toggle per-stream tallies on every channel controller."""
+        for ctrl in self.controllers:
+            ctrl.track_streams = enabled
+
+    def stream_snapshot(self):
+        """Per-stream tallies merged across channels (see
+        :meth:`ChannelController.stream_snapshot`)."""
+        merged = {}
+        for ctrl in self.controllers:
+            for stream, tally in ctrl.stream_snapshot().items():
+                into = merged.get(stream)
+                if into is None:
+                    merged[stream] = dict(tally)
+                else:
+                    for key in ("reads", "writes", "accesses", "buffer_hits",
+                                "total_latency_cycles"):
+                        into[key] += tally[key]
+        for tally in merged.values():
+            accesses = tally["accesses"]
+            tally["hit_rate"] = (
+                tally["buffer_hits"] / accesses if accesses else 0.0
+            )
+            tally["average_latency"] = (
+                tally["total_latency_cycles"] / accesses if accesses else 0.0
+            )
         return merged
 
     def __repr__(self):

@@ -1,0 +1,30 @@
+"""Multi-tenant query serving front end.
+
+N simulated client sessions (tenants) drive seeded open- or closed-loop
+arrival processes against one shared :class:`~repro.imdb.database.Database`.
+Statements execute functionally in arrival order, their traces are
+interleaved across :class:`~repro.cpu.multicore.MulticoreMachine` cores at
+trace granularity with per-tenant stream tags, and the memory controllers
+arbitrate the streams with deficit-round-robin fair share on top of the
+per-bank FR-FCFS queues (:mod:`repro.memsim.controller`).  Per-tenant SLO
+metrics (p50/p99 latency, throughput, queue depth, shed rate) come out of
+the :mod:`repro.obs` histogram/metrics registry.
+"""
+
+from repro.serving.arrivals import ARRIVAL_KINDS, ClosedLoop, OpenLoop, make_arrivals
+from repro.serving.session import TenantSession, TenantSpec
+from repro.serving.server import ServingReport, ServingSimulator
+from repro.serving.slo import fairness_ratio, slo_table
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ClosedLoop",
+    "OpenLoop",
+    "ServingReport",
+    "ServingSimulator",
+    "TenantSession",
+    "TenantSpec",
+    "fairness_ratio",
+    "make_arrivals",
+    "slo_table",
+]

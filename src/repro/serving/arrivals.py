@@ -1,0 +1,62 @@
+"""Seeded, deterministic arrival processes (simulated-cycle domain).
+
+Two classic load models [Schroeder et al., NSDI 2006 terminology]:
+
+* **Open loop** — arrivals follow a Poisson process (exponential
+  interarrival gaps) independent of completions; load does not back off
+  when the server falls behind, so queues (and shed counts, with
+  admission control) grow under overload.
+* **Closed loop** — each session thinks for an exponential gap *after*
+  its previous statement completes, so at most one statement per session
+  is ever outstanding and offered load self-throttles.
+
+Both draw from a private ``random.Random(seed)`` so a tenant's arrival
+sequence is reproducible independent of every other tenant.
+"""
+
+import random
+
+ARRIVAL_KINDS = ("open", "closed")
+
+
+class _Process:
+    __slots__ = ("mean_gap", "_rng")
+
+    def __init__(self, mean_gap, seed):
+        if mean_gap < 1:
+            raise ValueError("mean_gap must be at least 1 cycle")
+        self.mean_gap = mean_gap
+        self._rng = random.Random(seed)
+
+    def _gap(self):
+        # At least one cycle so arrival sequences are strictly ordered
+        # per tenant and a zero draw cannot collapse think time.
+        return max(1, round(self._rng.expovariate(1.0 / self.mean_gap)))
+
+
+class OpenLoop(_Process):
+    """Poisson arrivals anchored to the previous *arrival*."""
+
+    kind = "open"
+
+    def next_arrival(self, prev_arrival, prev_completion):
+        return prev_arrival + self._gap()
+
+
+class ClosedLoop(_Process):
+    """Think-time arrivals anchored to the previous *completion*."""
+
+    kind = "closed"
+
+    def next_arrival(self, prev_arrival, prev_completion):
+        return prev_completion + self._gap()
+
+
+def make_arrivals(kind, mean_gap, seed):
+    if kind == "open":
+        return OpenLoop(mean_gap, seed)
+    if kind == "closed":
+        return ClosedLoop(mean_gap, seed)
+    raise ValueError(
+        f"unknown arrival kind {kind!r}; expected one of {ARRIVAL_KINDS}"
+    )

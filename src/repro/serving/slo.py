@@ -1,0 +1,52 @@
+"""Per-tenant SLO summaries and fairness checks.
+
+Operates on the per-tenant report dicts produced by
+:meth:`repro.serving.session.TenantSession.report` (p50/p99 latency from
+the :mod:`repro.obs` histograms, throughput in completions per million
+simulated cycles, mean admission-queue depth, shed counts).
+"""
+
+
+def fairness_ratio(tenant_reports):
+    """max/min per-tenant throughput; ``inf`` when a tenant starved.
+
+    A ratio near 1.0 means the fair-share arbiter gave every tenant a
+    comparable share of the memory system; a starved tenant (zero
+    completions while others completed work) yields ``inf``.
+    """
+    rates = [t["throughput_per_mcycle"] for t in tenant_reports]
+    if not rates or all(rate == 0 for rate in rates):
+        return 1.0
+    low = min(rates)
+    if low == 0:
+        return float("inf")
+    return max(rates) / low
+
+
+_COLUMNS = (
+    ("tenant", "{}", 10),
+    ("arrival", "{}", 7),
+    ("completed", "{}", 9),
+    ("shed", "{}", 5),
+    ("p50_cycles", "{:.0f}", 11),
+    ("p99_cycles", "{:.0f}", 11),
+    ("throughput_per_mcycle", "{:.2f}", 12),
+    ("mean_queue_depth", "{:.2f}", 10),
+)
+
+
+def slo_table(tenant_reports):
+    """Plain-text SLO table, one row per tenant."""
+    short = {"throughput_per_mcycle": "thru/Mcyc", "mean_queue_depth": "avg depth"}
+    header = "  ".join(
+        short.get(key, key).rjust(width) for key, _fmt, width in _COLUMNS
+    )
+    lines = [header, "-" * len(header)]
+    for report in tenant_reports:
+        lines.append(
+            "  ".join(
+                fmt.format(report[key]).rjust(width)
+                for key, fmt, width in _COLUMNS
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Tests for the multi-tenant fuzz mode (repro.fuzz.tenants)."""
+
+from repro.fuzz.grammar import CaseGenerator
+from repro.fuzz.tenants import prefix_case, run_tenant_case, run_tenant_fuzz
+
+
+def _case_with(kind, seed=0, tries=400):
+    generator = CaseGenerator(seed)
+    for index in range(tries):
+        case = generator.case(index)
+        if any(s.get("kind") == kind for s in case.statements):
+            return case
+    raise AssertionError(f"no generated case contained a {kind} statement")
+
+
+class TestPrefixCase:
+    def test_renames_tables_and_statement_references(self):
+        case = _case_with("select")
+        renamed = prefix_case(case, "t0")
+        originals = {spec.name for spec in case.tables}
+        for spec in renamed.tables:
+            assert spec.name.startswith("t0")
+        for stmt in renamed.statements:
+            for key in ("table", "left", "right"):
+                if key in stmt:
+                    assert stmt[key] not in originals
+
+    def test_renames_join_qualified_items(self):
+        case = _case_with("join")
+        renamed = prefix_case(case, "t1")
+        for stmt in renamed.statements:
+            if stmt.get("kind") != "join":
+                continue
+            for table, _field in stmt["items"]:
+                assert table.startswith("t1")
+
+    def test_original_case_untouched(self):
+        case = _case_with("select")
+        before = case.to_dict()
+        prefix_case(case, "t9")
+        assert case.to_dict() == before
+
+
+class TestTenantOracle:
+    def test_interleaved_tenants_match_solo_oracles(self):
+        for index in range(4):
+            problems, statements, _cases = run_tenant_case(
+                seed=11, index=index, n_tenants=2
+            )
+            assert problems == [], problems
+            assert statements > 0
+
+    def test_three_tenants(self):
+        problems, _statements, cases = run_tenant_case(
+            seed=5, index=0, n_tenants=3
+        )
+        assert problems == []
+        assert len(cases) == 3
+
+    def test_report_aggregates(self):
+        report = run_tenant_fuzz(seed=2, iterations=3, n_tenants=2)
+        assert report.ok
+        assert report.iterations == 3
+        assert report.statements > 0
+
+    def test_deterministic(self):
+        first = run_tenant_case(seed=4, index=1, n_tenants=2)
+        second = run_tenant_case(seed=4, index=1, n_tenants=2)
+        assert first[0] == second[0]
+        assert first[1] == second[1]

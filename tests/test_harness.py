@@ -161,6 +161,48 @@ class TestCheckRegression:
         assert any("hit rate" in f for f in failures)
         assert any("rebind regressed" in f for f in failures)
 
+    def test_serving_fences(self, tmp_path):
+        """A baseline that records serving fences gates fairness, the
+        hit-rate delta vs global FIFO, and unexpected shedding."""
+        import json
+
+        from repro.harness.perfbench import check_regression
+
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({
+            "replay_after_batched": {"accesses_per_sec": 1000},
+            "serving": {"max_fairness": 3.0, "min_hit_rate_delta": -0.005},
+        }))
+        good = {
+            **self._report(),
+            "serving": {"fairness": 1.2, "hit_rate_delta": 0.01, "shed": 0},
+        }
+        assert check_regression(good, path) == []
+        bad = {
+            **self._report(),
+            "serving": {"fairness": 9.0, "hit_rate_delta": -0.2, "shed": 4},
+        }
+        failures = check_regression(bad, path)
+        assert len(failures) == 3
+        assert any("fairness regressed" in f for f in failures)
+        assert any("locality regressed" in f for f in failures)
+        assert any("shed" in f for f in failures)
+
+    def test_baseline_without_serving_fences_skips_serving_gate(self, tmp_path):
+        import json
+
+        from repro.harness.perfbench import check_regression
+
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps({"replay_after_batched": {"accesses_per_sec": 1000}})
+        )
+        report = {
+            **self._report(),
+            "serving": {"fairness": 9.0, "hit_rate_delta": -0.2, "shed": 4},
+        }
+        assert check_regression(report, path) == []
+
     def test_pre_kernel_baseline_still_gates_batched_only(self, tmp_path):
         """Baselines committed before the kernel path existed must keep
         working — only the sections they record are gated."""

@@ -129,6 +129,8 @@ SNAPSHOT_GOLDEN_KEYS = frozenset({
     "write_drain_episodes", "starvation_cap_hits", "max_bypass",
     "queue_occupancy_sum", "queue_occupancy_samples",
     "max_queue_occupancy", "max_bank_queue_occupancy", "latency_hist",
+    # fair-share arbitration (multi-tenant serving, repro.serving)
+    "cross_stream_bypasses", "stream_rotations", "opportunistic_stream_hits",
     # reliability (background scrub traffic, repro.reliability.scrub)
     "scrub_reads", "scrub_cycles",
     # durability (WAL appends + persistence barriers, repro.durability)
