@@ -135,6 +135,11 @@ def kernel_eligible(machine, fin, stream=None):
         stream = fin.stream
     if stream:
         return False
+    if getattr(machine.memory, "tiered", False):
+        # The kernel models one uniform device timing per system; a hybrid
+        # DRAM + NVM system mixes two, and migrations between statements
+        # invalidate the cached trace shape anyway.
+        return False
     keys = fin.line_key
     if keys.shape[0] == 0:
         return False
@@ -507,6 +512,10 @@ def run_kernel(machine, fin):
                     buckets[bucket] = count
             hist.buckets = buckets
             hist.count = serviced
+        # Kernel eligibility rejects tiered memory, so every serviced
+        # request belongs to the NVM tier (see MemoryStats tier partition).
+        st.tier_nvm_accesses = serviced
+        st.tier_nvm_hits = hits_c[ch]
         st.buffer_hits = hits_c[ch]
         st.buffer_empty_misses = empty_c[ch]
         st.buffer_conflicts = confl_c[ch]

@@ -10,13 +10,15 @@ Installed as ``rcnvm-experiments``::
     rcnvm-experiments profile --query q7 --system rcnvm
     rcnvm-experiments recover --smoke
     rcnvm-experiments serve --tenants 8 --arrival mixed
+    rcnvm-experiments tier --smoke
 
-The ``fuzz``, ``profile``, ``recover``, and ``serve`` subcommands have
-their own flags and dispatch to :mod:`repro.fuzz.cli` (differential SQL
-fuzzing), :mod:`repro.harness.profiling` (query-scoped tracing spans +
-metric tables), :mod:`repro.harness.recover` (durability crash-site
-sweep), and :mod:`repro.harness.serve` (multi-tenant serving front end;
-see EXPERIMENTS.md).
+The ``fuzz``, ``profile``, ``recover``, ``serve``, and ``tier``
+subcommands have their own flags and dispatch to :mod:`repro.fuzz.cli`
+(differential SQL fuzzing), :mod:`repro.harness.profiling` (query-scoped
+tracing spans + metric tables), :mod:`repro.harness.recover` (durability
+crash-site sweep), :mod:`repro.harness.serve` (multi-tenant serving
+front end), and :mod:`repro.harness.tiering` (hybrid DRAM + RC-NVM
+capacity sweep; see EXPERIMENTS.md).
 """
 
 import argparse
@@ -167,6 +169,10 @@ def main(argv=None):
         from repro.harness.serve import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "tier":
+        from repro.harness.tiering import main as tier_main
+
+        return tier_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rcnvm-experiments",
         description="Regenerate the RC-NVM paper's tables and figures.",

@@ -247,6 +247,37 @@ def _multi_tenant_serving(scale, sched_kwargs=None):
     }
 
 
+def _tiering_scenario(scale, sched_kwargs=None):
+    """The hybrid-tier scenario (``repro.harness.tiering``).
+
+    Small geometry, mixed OLXP workload, DRAM capacity large enough to
+    admit the hot table.  The fenced metrics — aggregate hit-rate delta
+    over untiered RC-NVM and the promotion count — are simulated-cycle
+    quantities, fully deterministic.
+    """
+    from repro.harness.tiering import run_tier
+
+    start = time.perf_counter()
+    result = run_tier(
+        dram_fraction=0.5, workload="mixed", scale=min(scale, 0.05),
+        rounds=5, small=True, sched_kwargs=sched_kwargs,
+    )
+    elapsed = time.perf_counter() - start
+    migration = result["tiered"]["migration"]
+    return {
+        "statements": result["config"]["statements"],
+        "dram_fraction": result["config"]["dram_fraction"],
+        "aggregate_hit_rate": round(result["tiered"]["aggregate_hit_rate"], 4),
+        "baseline_hit_rate": round(result["baseline"]["aggregate_hit_rate"], 4),
+        "hit_rate_delta": round(result["hit_rate_delta"], 4),
+        "promotions": migration["promotions"],
+        "demotions": migration["demotions"],
+        "migrated_cells": migration["migrated_cells"],
+        "consistency_problems": result["consistency_problems"],
+        "wall_seconds": round(elapsed, 4),
+    }
+
+
 def run_perfbench(scale=0.1, systems=FIGURE_SYSTEMS, qids=SQL_BENCHMARK_IDS,
                   rounds=3, sched_kwargs=None, serving_rounds=3):
     """Run the full benchmark; returns the result dict (JSON-ready)."""
@@ -332,6 +363,7 @@ def run_perfbench(scale=0.1, systems=FIGURE_SYSTEMS, qids=SQL_BENCHMARK_IDS,
         ),
         "rebind_microbench": _rebind_microbench(scale, sched_kwargs=sched_kwargs),
         "serving": _multi_tenant_serving(scale, sched_kwargs=sched_kwargs),
+        "tiering": _tiering_scenario(scale, sched_kwargs=sched_kwargs),
         "allocation": _measure_allocation(work),
         "peak_rss_kib": peak_rss_kib,
     }
@@ -433,6 +465,28 @@ def check_regression(report, baseline_path, max_regression=0.25):
                 f"serving shed {serving['shed']} statements at the "
                 "benchmark load (admission control should be idle here)"
             )
+    # Tiering gate: like serving, only when the baseline records fences.
+    tier_fences = baseline.get("tiering")
+    tiering = report.get("tiering")
+    if tier_fences and tiering:
+        min_delta = tier_fences.get("min_hit_rate_delta")
+        if min_delta is not None and tiering["hit_rate_delta"] < min_delta:
+            failures.append(
+                f"tiering locality regressed: aggregate hit rate delta "
+                f"{tiering['hit_rate_delta']:+.4f} vs untiered RC-NVM is "
+                f"below floor {min_delta:+.4f}"
+            )
+        min_promotions = tier_fences.get("min_promotions")
+        if min_promotions is not None and tiering["promotions"] < min_promotions:
+            failures.append(
+                f"tiering migration stalled: {tiering['promotions']} "
+                f"promotions < floor {min_promotions}"
+            )
+        if tiering["consistency_problems"]:
+            failures.append(
+                "tiering engine inconsistent: "
+                + "; ".join(tiering["consistency_problems"])
+            )
     return failures
 
 
@@ -496,6 +550,12 @@ def main(argv=None):
           f"hit rate {srv['stream_hit_rate']:.3f} vs "
           f"FIFO {srv['fifo_hit_rate']:.3f} "
           f"({srv['hit_rate_delta']:+.3f})")
+    tier = report["tiering"]
+    print(f"tiering          : dram fraction {tier['dram_fraction']}, "
+          f"hit rate {tier['aggregate_hit_rate']:.3f} vs "
+          f"untiered {tier['baseline_hit_rate']:.3f} "
+          f"({tier['hit_rate_delta']:+.3f}), "
+          f"{tier['promotions']} promoted")
     print(f"written to       : {args.out}")
     if report["equivalence"]["mismatches"]:
         print("FAIL: batched replay diverged from the precise path", file=sys.stderr)

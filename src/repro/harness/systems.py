@@ -9,8 +9,11 @@ from repro.geometry import (
 )
 from repro.memsim import timing as timings
 from repro.memsim.system import make_dram, make_gsdram, make_rcnvm, make_rram
+from repro.memsim.tiering import make_tiered
 
-SYSTEM_NAMES = ("RC-NVM", "RRAM", "GS-DRAM", "DRAM")
+#: The paper's four systems plus the hybrid DRAM-fronted RC-NVM tier
+#: (:mod:`repro.memsim.tiering`).
+SYSTEM_NAMES = ("RC-NVM", "RRAM", "GS-DRAM", "DRAM", "TIERED")
 
 #: Table 1 cache stack: private L1 32 KB and L2 256 KB, shared L3 8 MB,
 #: all 8-way with 64 B lines.
@@ -24,6 +27,7 @@ _FULL_FACTORIES = {
     "GS-DRAM": lambda **kw: make_gsdram(DRAM_GEOMETRY, **kw),
     "RRAM": lambda **kw: make_rram(RCNVM_GEOMETRY, **kw),
     "RC-NVM": lambda **kw: make_rcnvm(RCNVM_GEOMETRY, **kw),
+    "TIERED": lambda **kw: make_tiered(RCNVM_GEOMETRY, **kw),
 }
 
 _SMALL_FACTORIES = {
@@ -31,11 +35,12 @@ _SMALL_FACTORIES = {
     "GS-DRAM": lambda **kw: make_gsdram(SMALL_DRAM_GEOMETRY, **kw),
     "RRAM": lambda **kw: make_rram(SMALL_RCNVM_GEOMETRY, **kw),
     "RC-NVM": lambda **kw: make_rcnvm(SMALL_RCNVM_GEOMETRY, **kw),
+    "TIERED": lambda **kw: make_tiered(SMALL_RCNVM_GEOMETRY, **kw),
 }
 
 
 def build_system(name, small=False, **sched_kwargs):
-    """Build one of the paper's four memory systems by name.
+    """Build one of the evaluated memory systems by name.
 
     ``sched_kwargs`` (``policy``, ``page_policy``, ``queue_depth``,
     ``age_cap``, ...) configure every channel controller; see

@@ -53,11 +53,39 @@ class CostModel:
 
     def __init__(self, database):
         self.database = database
-        timing = database.memory.timing
+        memory = database.memory
+        timing = memory.timing
         self._hit_cost = timing.cas_cpu + timing.burst_cpu
         self._activation_cost = timing.rp_cpu + timing.rcd_cpu
         self._flush_cost = timing.write_pulse_cpu
-        self._channels = database.memory.geometry.channels
+        #: On a hybrid memory (:mod:`repro.memsim.tiering`) costs are
+        #: blended per table by its DRAM-resident cell fraction; each
+        #: tier contributes the paper's channel count, so parallelism is
+        #: the per-tier channel count either way.
+        self._tiered = getattr(memory, "tiered", False)
+        if self._tiered:
+            dram = memory.dram_timing
+            self._dram_hit_cost = dram.cas_cpu + dram.burst_cpu
+            self._dram_activation_cost = dram.rp_cpu + dram.rcd_cpu
+            self._dram_flush_cost = dram.write_pulse_cpu
+            self._channels = memory.nvm_channels
+        else:
+            self._channels = memory.geometry.channels
+
+    def dram_fraction(self, table):
+        """Fraction of a table's cells resident in the DRAM tier."""
+        if not self._tiered:
+            return 0.0
+        g = self.database.memory.geometry
+        per_channel = g.ranks * g.banks * g.subarrays
+        nvm_channels = self.database.memory.nvm_channels
+        total = dram = 0
+        for chunk in table.chunks:
+            cells = chunk.width * chunk.height
+            total += cells
+            if chunk.placement.bin_index // per_channel >= nvm_channels:
+                dram += cells
+        return dram / total if total else 0.0
 
     # -- public -----------------------------------------------------------------
     def estimate(self, plan) -> CostEstimate:
@@ -75,8 +103,17 @@ class CostModel:
             return self._update(plan)
         raise TypeError(f"cannot price {type(plan).__name__}")
 
-    def _finish(self, plan, lines, activations, extra_cycles=0.0):
-        serial = lines * self._hit_cost + activations * self._activation_cost
+    def _finish(self, plan, lines, activations, extra_cycles=0.0, table=None):
+        hit, activation = self._hit_cost, self._activation_cost
+        if self._tiered and table is not None:
+            fraction = self.dram_fraction(table)
+            if fraction:
+                hit = fraction * self._dram_hit_cost + (1 - fraction) * hit
+                activation = (
+                    fraction * self._dram_activation_cost
+                    + (1 - fraction) * activation
+                )
+        serial = lines * hit + activations * activation
         cycles = serial / self._channels + extra_cycles
         return CostEstimate(
             plan=type(plan).__name__,
@@ -84,6 +121,18 @@ class CostModel:
             activations=int(activations),
             cycles=cycles,
         )
+
+    def _blended_flush_cost(self, table):
+        """Per-match dirty-flush cost; DRAM-resident cells skip the NVM
+        write pulse."""
+        if self._tiered:
+            fraction = self.dram_fraction(table)
+            if fraction:
+                return (
+                    fraction * self._dram_flush_cost
+                    + (1 - fraction) * self._flush_cost
+                )
+        return self._flush_cost
 
     # -- scan building blocks --------------------------------------------------------
     def _table(self, name):
@@ -147,7 +196,7 @@ class CostModel:
             lines_per_tuple = -(-output_words // WORDS_PER_LINE)
             lines += matches * lines_per_tuple
             activations += matches  # scattered rows: one activation each
-        return self._finish(plan, lines, activations)
+        return self._finish(plan, lines, activations, table=table)
 
     def _aggregate(self, plan):
         table = self._table(plan.table)
@@ -160,7 +209,7 @@ class CostModel:
                 lines += l
                 activations += a
         l, a = self._scan_cost(table, plan.scan_method)
-        return self._finish(plan, lines + l, activations + a)
+        return self._finish(plan, lines + l, activations + a, table=table)
 
     def _wide_aggregate(self, plan):
         table = self._table(plan.table)
@@ -169,7 +218,7 @@ class CostModel:
             # Naive interleaved wide-field read: every line switches the
             # column buffer.
             a = l
-        return self._finish(plan, l, a)
+        return self._finish(plan, l, a, table=table)
 
     def _ordered_projection(self, plan):
         table = self._table(plan.table)
@@ -177,7 +226,7 @@ class CostModel:
         l, a = self._scan_cost(table, plan.scan_method, words=words)
         if plan.scan_method is ScanMethod.COLUMN and not plan.group_lines:
             a = l
-        return self._finish(plan, l, a)
+        return self._finish(plan, l, a, table=table)
 
     def _join(self, plan):
         left = self._table(plan.left)
@@ -214,8 +263,10 @@ class CostModel:
         matches = self._matches(plan, table) or 1
         lines += matches
         activations += matches
-        flush_cycles = matches * self._flush_cost
-        return self._finish(plan, lines, activations, extra_cycles=flush_cycles)
+        flush_cycles = matches * self._blended_flush_cost(table)
+        return self._finish(
+            plan, lines, activations, extra_cycles=flush_cycles, table=table
+        )
 
 
 def explain_costs(database, sql, params=None, **plan_kwargs):

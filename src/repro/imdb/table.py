@@ -168,23 +168,38 @@ class Table:
             )
         return np.ascontiguousarray(packed, dtype=np.int64)
 
-    def remap_chunk(self, chunk, crash_point=None):
-        """Move a chunk off a damaged rectangle onto a fresh placement.
+    def remap_chunk(self, chunk, crash_point=None, tier=None, release=False):
+        """Move a chunk onto a fresh placement, rebuilding its cells.
 
-        The old rectangle is retired in the allocator (the bin-packing is
-        effectively re-run with the damaged region removed from play) and
-        the cells are rebuilt from the chunk's backup.  ``crash_point``
-        (if given) is called after the new rectangle is claimed but
-        before its cells are rewritten — the widest window a power loss
-        could tear the remap open.  Returns
+        Two callers share this machinery.  Uncorrectable-error recovery
+        (the default) *retires* the old rectangle — damaged cells leave
+        play forever — and replaces it in the same tier.  Tier migration
+        passes ``release=True`` (the vacated rectangle is healthy and
+        returns to the allocator's reuse pool) and ``tier`` to direct the
+        new placement into the DRAM or NVM half of a
+        :class:`~repro.imdb.allocator.TieredAllocator`.
+
+        ``crash_point`` (if given) is called after the new rectangle is
+        claimed but before its cells are rewritten — the widest window a
+        power loss could tear the move open.  Returns
         ``(old_placement, new_placement)``."""
         backup = getattr(chunk, "backup", None)
         if backup is None:
             backup = self.chunk_packed(chunk)
             chunk.backup = backup
         old = chunk.placement
-        self.allocator.retire(old)
-        chunk.placement = self.allocator.place(chunk.width, chunk.height)
+        # Claim the new rectangle before releasing the old one: if the
+        # destination cannot place it, the chunk must stay where it is
+        # (and the live rectangle must never enter the reuse pool).
+        if tier is None:
+            fresh = self.allocator.place(chunk.width, chunk.height)
+        else:
+            fresh = self.allocator.place(chunk.width, chunk.height, tier=tier)
+        if release:
+            self.allocator.free(old)
+        else:
+            self.allocator.retire(old)
+        chunk.placement = fresh
         self.geometry_epoch += 1
         if crash_point is not None:
             crash_point()

@@ -142,6 +142,10 @@ class ChannelController:
         self._seq = itertools.count()
         self.bus_free = 0
         self.stats = MemoryStats()
+        #: Memory tier this channel belongs to (0 = NVM, 1 = DRAM).  Set by
+        #: :class:`~repro.memsim.tiering.TieredMemorySystem` on its DRAM
+        #: channels; plain systems leave every controller at tier 0.
+        self.tier = 0
         # DeviceTiming is frozen; cache the per-request burst length.
         self._burst_cpu = timing.burst_cpu
 
@@ -156,6 +160,7 @@ class ChannelController:
 
     def submit(self, req):
         """Queue a request; may trigger scheduling if a queue fills up."""
+        req.tier = self.tier
         bank_index = req.rank * self.geometry.banks + req.bank
         entry = _Queued(next(self._seq), req, bank_index)
         queues = self.write_queues if req.is_write else self.read_queues
@@ -460,6 +465,15 @@ class ChannelController:
             stats.gathers += 1
         else:
             stats.row_oriented += 1
+        hit = stats.buffer_hits > hits_before
+        if self.tier:
+            stats.tier_dram_accesses += 1
+            if hit:
+                stats.tier_dram_hits += 1
+        else:
+            stats.tier_nvm_accesses += 1
+            if hit:
+                stats.tier_nvm_hits += 1
         stats.bus_busy_cycles += self._burst_cpu
         latency = end - req.arrival
         stats.total_latency_cycles += latency
@@ -477,7 +491,7 @@ class ChannelController:
                 tally[1] += 1
             else:
                 tally[0] += 1
-            if stats.buffer_hits > hits_before:
+            if hit:
                 tally[2] += 1
             tally[3] += latency
         # -- page policy
@@ -485,7 +499,7 @@ class ChannelController:
             self._close(bank)
         elif self.page_policy == "adaptive":
             self._adapt(bank, bank_index, req,
-                        hit=stats.buffer_hits > hits_before,
+                        hit=hit,
                         conflict=stats.buffer_conflicts > conflicts_before,
                         switched=stats.orientation_switches > switches_before)
         return end

@@ -135,6 +135,11 @@ SNAPSHOT_GOLDEN_KEYS = frozenset({
     "scrub_reads", "scrub_cycles",
     # durability (WAL appends + persistence barriers, repro.durability)
     "wal_records", "wal_cells", "persist_barriers", "persist_flush_lines",
+    # hybrid tier (DRAM-fronted RC-NVM, repro.memsim.tiering)
+    "tier_dram_accesses", "tier_nvm_accesses",
+    "tier_dram_hits", "tier_nvm_hits",
+    "chunks_promoted", "chunks_demoted",
+    "migration_cells", "migration_cycles",
     # derived
     "accesses", "buffer_miss_rate", "average_latency",
     "avg_queue_occupancy", "latency_p50", "latency_p95", "latency_p99",

@@ -1,0 +1,443 @@
+"""Hybrid DRAM + RC-NVM tier tests (repro.memsim.tiering).
+
+Three layers of proof, mirroring the module's three pieces:
+
+* **HeatTracker** property tests — decay monotonicity (heat never rises
+  without traffic and strictly falls until the key is dropped), no
+  invented heat, hysteresis band validity;
+* **TieringEngine** behaviour — promotion under the capacity budget,
+  demotion of cold residents, no promote/demote ping-pong within one
+  epoch, ledger consistency, migration accounting on the controllers;
+* a **differential model test** — random statement sequences run on the
+  tiered stack (migrations interleaving mid-sequence) and on an
+  untiered RC-NVM oracle must stay result-identical, with the fuzz
+  harness's tier-conservation audit green after every statement.
+
+The allocator seam regressions (an ECC-retired rectangle must never be
+handed to a tier migration, and vice versa) live here too.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LayoutError
+from repro.fuzz.invariants import check_tier_conservation
+from repro.fuzz.oracle import normalize
+from repro.geometry import SMALL_RCNVM_GEOMETRY
+from repro.harness.systems import SMALL_CACHE_CONFIG, build_system
+from repro.imdb.allocator import SubarrayAllocator, TieredAllocator
+from repro.imdb.database import Database
+from repro.memsim.tiering import (
+    HeatTracker,
+    TieredMemorySystem,
+    TieringEngine,
+    make_small_tiered,
+)
+
+
+def _db(system="TIERED", layout="column", n_rows=48, aggressive=True):
+    db = Database(
+        build_system(system, small=True),
+        cache_config=SMALL_CACHE_CONFIG,
+        verify=False,
+    )
+    db.create_table("t", [("id", 8), ("v", 8), ("w", 8)], layout=layout)
+    db.insert_many("t", [(i, i * 3, i % 7) for i in range(n_rows)])
+    if aggressive and db.tiering is not None:
+        db.tiering.epoch_statements = 1
+        db.tiering.promote_threshold = 2.0
+        db.tiering.demote_threshold = 0.5
+    return db
+
+
+# -- TieredMemorySystem --------------------------------------------------------
+class TestTieredMemorySystem:
+    def test_channel_split_and_tier_tags(self):
+        memory = make_small_tiered()
+        nvm = SMALL_RCNVM_GEOMETRY.channels
+        assert memory.tiered
+        assert memory.nvm_channels == nvm
+        assert memory.geometry.channels == 2 * nvm
+        for channel, ctrl in enumerate(memory.controllers):
+            assert ctrl.tier == memory.tier_of_channel(channel)
+        assert memory.tier_of_channel(0) == 0
+        assert memory.tier_of_channel(nvm) == 1
+
+    def test_dram_channels_run_dram_timing(self):
+        memory = make_small_tiered()
+        nvm_ctrl = memory.controllers[0]
+        dram_ctrl = memory.controllers[memory.nvm_channels]
+        assert dram_ctrl.timing is memory.dram_timing
+        assert nvm_ctrl.timing is memory.timing
+        assert memory.timing_of_tier(0) is memory.timing
+        assert memory.timing_of_tier(1) is memory.dram_timing
+
+    def test_requests_stamp_tier_and_partition_counters(self):
+        from repro.core.addressing import Coordinate, Orientation
+
+        memory = make_small_tiered()
+        memory.access(Coordinate(0, 0, 0, 0, 0, 0), Orientation.ROW, False, 0)
+        dram_channel = memory.nvm_channels
+        memory.access(
+            Coordinate(dram_channel, 0, 0, 0, 0, 0), Orientation.ROW, False, 0
+        )
+        stats = memory.stats
+        assert stats.tier_nvm_accesses == 1
+        assert stats.tier_dram_accesses == 1
+        assert stats.check_conservation() == []
+        assert memory.tier_stats(0).accesses == 1
+        assert memory.tier_stats(1).accesses == 1
+
+    def test_snapshot_carries_tier_counters(self):
+        snap = make_small_tiered().stats.snapshot()
+        for key in ("tier_dram_accesses", "tier_nvm_accesses",
+                    "chunks_promoted", "migration_cells"):
+            assert key in snap
+
+
+# -- HeatTracker properties ----------------------------------------------------
+_KEYS = st.sampled_from([("t", 0), ("t", 16), ("u", 0)])
+
+
+class TestHeatTracker:
+    def test_rejects_bad_decay_and_negative_counts(self):
+        with pytest.raises(ValueError):
+            HeatTracker(decay=1.0)
+        with pytest.raises(ValueError):
+            HeatTracker(decay=-0.1)
+        tracker = HeatTracker()
+        with pytest.raises(ValueError):
+            tracker.record(("t", 0), -1)
+
+    def test_never_invents_heat(self):
+        tracker = HeatTracker()
+        assert tracker.heat_of(("t", 0)) == 0.0
+        tracker.advance_epoch()
+        assert tracker.heat == {}
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                        max_size=6),
+        decay=st.floats(min_value=0.0, max_value=0.95),
+        idle_epochs=st.integers(min_value=1, max_value=30),
+    )
+    def test_decay_is_monotone_and_reaches_zero(self, counts, decay,
+                                                idle_epochs):
+        """With no new traffic heat never increases, strictly decreases
+        while nonzero, and eventually the key is dropped entirely."""
+        tracker = HeatTracker(decay=decay, min_heat=1e-3)
+        key = ("t", 0)
+        for n in counts:
+            tracker.record(key, n)
+        tracker.advance_epoch()
+        previous = tracker.heat_of(key)
+        for _ in range(idle_epochs):
+            tracker.advance_epoch()
+            current = tracker.heat_of(key)
+            assert current <= previous
+            if previous > 0 and decay < 1.0:
+                assert current < previous or current == 0.0
+            previous = current
+        # Geometric decay with a positive floor always terminates.
+        for _ in range(2000):
+            if tracker.heat_of(key) == 0.0:
+                break
+            tracker.advance_epoch()
+        assert tracker.heat_of(key) == 0.0
+        assert key not in tracker.heat  # dropped, not just zeroed
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(_KEYS, st.integers(min_value=0, max_value=100)),
+            max_size=20,
+        )
+    )
+    def test_heat_is_bounded_by_total_traffic(self, events):
+        tracker = HeatTracker(decay=0.5)
+        total = {}
+        for key, n in events:
+            tracker.record(key, n)
+            total[key] = total.get(key, 0) + n
+        tracker.advance_epoch()
+        for key, n in total.items():
+            assert tracker.heat_of(key) <= n
+
+
+# -- TieringEngine -------------------------------------------------------------
+class TestTieringEngine:
+    def test_hysteresis_band_is_enforced(self):
+        db = _db(aggressive=False)
+        with pytest.raises(ValueError):
+            TieringEngine(db, promote_threshold=4.0, demote_threshold=4.0)
+        with pytest.raises(ValueError):
+            TieringEngine(db, promote_threshold=1.0, demote_threshold=4.0)
+        with pytest.raises(ValueError):
+            TieringEngine(db, epoch_statements=0)
+
+    def test_between_thresholds_nothing_moves(self):
+        """A chunk whose heat sits inside the hysteresis band stays put —
+        the no-move band that rules out threshold flapping."""
+        db = _db(aggressive=False)
+        engine = db.tiering
+        engine.promote_threshold = 100.0
+        engine.demote_threshold = 1.0
+        chunk = db.tables["t"].chunks[0]
+        key = engine.chunk_key(db.tables["t"], chunk)
+        engine.tracker.heat[key] = 50.0  # inside the band
+        assert engine.rebalance() == 0
+        assert engine.tier_of_placement(chunk.placement) == 0
+
+    def test_promotion_respects_capacity_budget(self):
+        db = _db(aggressive=False)
+        engine = db.tiering
+        table = db.tables["t"]
+        chunk = table.chunks[0]
+        engine.tracker.heat[engine.chunk_key(table, chunk)] = 1e6
+        engine.capacity_cells = chunk.width * chunk.height - 1  # one short
+        assert engine.rebalance() == 0
+        assert engine.tier_of_placement(chunk.placement) == 0
+        engine.capacity_cells = chunk.width * chunk.height
+        assert engine.rebalance() == 1
+        assert engine.tier_of_placement(chunk.placement) == 1
+        assert engine.promotions == 1
+        assert engine.check_consistency() == []
+
+    def test_no_ping_pong_within_one_epoch(self):
+        """A chunk promoted this epoch cannot be demoted in the same
+        epoch even if its heat collapses below the demote threshold."""
+        db = _db(aggressive=False)
+        engine = db.tiering
+        table = db.tables["t"]
+        chunk = table.chunks[0]
+        key = engine.chunk_key(table, chunk)
+        engine.tracker.heat[key] = 1e6
+        assert engine.rebalance() == 1
+        assert engine.tier_of_placement(chunk.placement) == 1
+        engine.tracker.heat[key] = 0.0  # ice cold, same epoch
+        assert engine.rebalance() == 0
+        assert engine.tier_of_placement(chunk.placement) == 1
+        # Next epoch, the demotion is allowed.
+        engine.epoch += 1
+        assert engine.rebalance() == 1
+        assert engine.tier_of_placement(chunk.placement) == 0
+        assert (engine.promotions, engine.demotions) == (1, 1)
+        assert engine.check_consistency() == []
+
+    def test_migration_charges_controller_counters(self):
+        db = _db(aggressive=False)
+        engine = db.tiering
+        table = db.tables["t"]
+        chunk = table.chunks[0]
+        engine.tracker.heat[engine.chunk_key(table, chunk)] = 1e6
+        assert engine.rebalance() == 1
+        merged = db.memory.stats
+        assert merged.chunks_promoted == 1
+        assert merged.migration_cells == chunk.width * chunk.height
+        assert merged.migration_cycles > 0
+
+    def test_migrated_chunk_reads_back_identically(self):
+        db = _db(aggressive=False)
+        before = normalize(db.execute("SELECT id, v, w FROM t").result)
+        engine = db.tiering
+        table = db.tables["t"]
+        for chunk in list(table.chunks):
+            engine.tracker.heat[engine.chunk_key(table, chunk)] = 1e6
+        engine.capacity_cells = 10**9
+        assert engine.rebalance() >= 1
+        after = normalize(db.execute("SELECT id, v, w FROM t").result)
+        assert after == before
+        assert check_tier_conservation(db) == []
+
+    def test_statement_driven_promotion_moves_traffic_to_dram(self):
+        """The end-to-end loop: repeated queries heat the chunk, the
+        epoch boundary promotes it, later statements hit the DRAM tier."""
+        db = _db()
+        db.tiering.capacity_cells = 10**9
+        for _ in range(4):
+            db.execute("SELECT SUM(v) FROM t")
+        assert db.tiering.promotions >= 1
+        outcome = db.execute("SELECT SUM(v) FROM t")
+        memory = outcome.timing.memory
+        assert memory["tier_dram_accesses"] > 0
+        assert check_tier_conservation(db) == []
+
+
+# -- allocator seams (ECC retire vs tier free) ---------------------------------
+class TestAllocatorSeams:
+    def test_freed_rectangle_is_reused_retired_never(self):
+        alloc = SubarrayAllocator(SMALL_RCNVM_GEOMETRY)
+        a = alloc.place(10, 6)
+        b = alloc.place(10, 6)
+        alloc.free(a)
+        reused = alloc.place(10, 6)
+        assert (reused.bin_index, reused.x, reused.y) == (a.bin_index, a.x, a.y)
+        alloc.retire(b)
+        fresh = alloc.place(10, 6)
+        assert (fresh.bin_index, fresh.x, fresh.y) != (b.bin_index, b.x, b.y)
+
+    def test_free_of_a_retired_rectangle_raises(self):
+        """The regression seam: an ECC-retired (damaged) rectangle must
+        never reach the freed list a tier demotion draws from."""
+        alloc = SubarrayAllocator(SMALL_RCNVM_GEOMETRY)
+        p = alloc.place(8, 8)
+        alloc.retire(p)
+        with pytest.raises(LayoutError):
+            alloc.free(p)
+        assert p not in alloc.freed_placements
+
+    def test_retire_pulls_rectangle_off_the_freed_list(self):
+        """Demote-then-damage: a rectangle freed by a migration and later
+        found faulty is retired in place, not handed out again."""
+        alloc = SubarrayAllocator(SMALL_RCNVM_GEOMETRY)
+        p = alloc.place(8, 8)
+        alloc.free(p)
+        alloc.retire(p)
+        assert p not in alloc.freed_placements
+        replacement = alloc.place(8, 8)
+        assert (replacement.bin_index, replacement.x, replacement.y) != (
+            p.bin_index, p.x, p.y
+        )
+
+    def test_tiered_allocator_routes_by_channel(self):
+        g = dataclasses.replace(
+            SMALL_RCNVM_GEOMETRY, channels=SMALL_RCNVM_GEOMETRY.channels * 2
+        )
+        nvm = SMALL_RCNVM_GEOMETRY.channels
+        alloc = TieredAllocator(g, nvm_channels=nvm)
+        per_channel = g.ranks * g.banks * g.subarrays
+        low = alloc.place(8, 8)
+        high = alloc.place(8, 8, tier=1)
+        assert low.bin_index // per_channel < nvm
+        assert high.bin_index // per_channel >= nvm
+        assert alloc.tier_of(low) == 0
+        assert alloc.tier_of(high) == 1
+        alloc.free(high)
+        assert alloc.dram.freed_placements == [high]
+        alloc.retire(low)
+        assert low in alloc.retired
+
+    def test_tiered_allocator_rejects_bad_split(self):
+        with pytest.raises(LayoutError):
+            TieredAllocator(SMALL_RCNVM_GEOMETRY,
+                            nvm_channels=SMALL_RCNVM_GEOMETRY.channels)
+
+    def test_ecc_retired_and_demoted_chunk_never_share_a_rectangle(self):
+        """End-to-end seam: promote a chunk, retire its vacated NVM rect
+        (as an ECC remap would), then demote — the demotion must land on
+        a fresh rectangle, never the damaged one."""
+        db = _db(aggressive=False)
+        engine = db.tiering
+        table = db.tables["t"]
+        chunk = table.chunks[0]
+        old_nvm = chunk.placement
+        engine.tracker.heat[engine.chunk_key(table, chunk)] = 1e6
+        assert engine.rebalance() == 1
+        # The vacated NVM rectangle turns out to be damaged.
+        db.allocator.retire(old_nvm)
+        engine.epoch += 1
+        engine.tracker.heat[engine.chunk_key(table, chunk)] = 0.0
+        assert engine.rebalance() == 1  # demoted
+        assert engine.tier_of_placement(chunk.placement) == 0
+        assert (chunk.placement.bin_index, chunk.placement.x,
+                chunk.placement.y) != (old_nvm.bin_index, old_nvm.x, old_nvm.y)
+        assert normalize(db.execute("SELECT id, v, w FROM t").result) == \
+            normalize(db.execute("SELECT id, v, w FROM t").result)
+
+
+# -- differential model test ---------------------------------------------------
+_STATEMENTS = (
+    ("SELECT id, v FROM t WHERE v > p", {"p": 30}, None),
+    ("SELECT SUM(w) FROM t", {}, None),
+    ("SELECT id FROM t WHERE id < p", {"p": 9}, None),
+    ("SELECT id, v, w FROM t", {}, None),
+    ("UPDATE t SET v = p WHERE id = q", None, "kv"),
+    ("UPDATE t SET w = p WHERE v > q", None, "kv"),
+)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    script=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=len(_STATEMENTS) - 1),
+            st.integers(min_value=0, max_value=60),
+            st.integers(min_value=0, max_value=120),
+        ),
+        min_size=4,
+        max_size=10,
+    )
+)
+def test_random_statements_match_untiered_oracle(script):
+    """Random reads and updates interleaved with migrations on the
+    tiered stack must produce bit-identical results to the untiered
+    RC-NVM oracle, and every statement must pass the tier-conservation
+    audit."""
+    tiered = _db("TIERED")
+    oracle = _db("RC-NVM")
+    tiered.tiering.capacity_cells = 10**9
+    for choice, a, b in script:
+        sql, params, kind = _STATEMENTS[choice]
+        if kind == "kv":
+            params = {"p": a, "q": b}
+        got = normalize(tiered.execute(sql, params=params).result)
+        want = normalize(oracle.execute(sql, params=params).result)
+        assert got == want
+        assert check_tier_conservation(tiered) == []
+    # Final functional state agrees field by field.
+    for field in ("id", "v", "w"):
+        assert tiered.tables["t"].field_values(field).tolist() == \
+            oracle.tables["t"].field_values(field).tolist()
+    assert tiered.tiering.check_consistency() == []
+
+
+# -- cost model / planner tier awareness ---------------------------------------
+class TestTierAwareCosts:
+    def test_dram_fraction_tracks_promotion(self):
+        from repro.imdb.cost import CostModel
+
+        db = _db(aggressive=False)
+        model = CostModel(db)
+        table = db.tables["t"]
+        assert model.dram_fraction(table) == 0.0
+        engine = db.tiering
+        engine.tracker.heat[engine.chunk_key(table, table.chunks[0])] = 1e6
+        engine.capacity_cells = 10**9
+        assert engine.rebalance() == 1
+        assert CostModel(db).dram_fraction(table) == 1.0
+
+    def test_untiered_model_reports_zero_fraction(self):
+        from repro.imdb.cost import CostModel
+
+        db = _db("RC-NVM")
+        assert CostModel(db).dram_fraction(db.tables["t"]) == 0.0
+
+    def test_promotion_lowers_estimated_cost(self):
+        from repro.imdb.cost import CostModel
+
+        db = _db(aggressive=False)
+        sql = "SELECT id, v FROM t WHERE v > 30"
+        before = CostModel(db).estimate(db.plan(sql)).cycles
+        engine = db.tiering
+        table = db.tables["t"]
+        for chunk in table.chunks:
+            engine.tracker.heat[engine.chunk_key(table, chunk)] = 1e6
+        engine.capacity_cells = 10**9
+        assert engine.rebalance() >= 1
+        after = CostModel(db).estimate(db.plan(sql)).cycles
+        assert after < before
+
+    def test_tier_tuned_plan_is_result_identical(self):
+        db = _db(aggressive=False)
+        sql = "SELECT id FROM t WHERE v > 30"
+        before = normalize(db.execute(sql).result)
+        engine = db.tiering
+        table = db.tables["t"]
+        for chunk in table.chunks:
+            engine.tracker.heat[engine.chunk_key(table, chunk)] = 1e6
+        engine.capacity_cells = 10**9
+        engine.rebalance()
+        assert normalize(db.execute(sql).result) == before
