@@ -57,6 +57,11 @@ def main(argv=None):
                         help="multi-tenant mode: N namespaced tenants "
                              "interleaved on one shared database, each "
                              "checked against its single-tenant oracle")
+    parser.add_argument("--write-heavy", action="store_true",
+                        help="UPDATE-skewed statement mix (~55%% updates) "
+                             "so the write paths — coalescing, "
+                             "read-around-write, write-direction planning — "
+                             "are differentially exercised")
     args = parser.parse_args(argv)
 
     start = time.time()
@@ -115,6 +120,7 @@ def main(argv=None):
         shrink=not args.no_shrink,
         max_failures=args.max_failures,
         progress=print,
+        profile="write-heavy" if args.write_heavy else "default",
     )
     print(report.summary())
     print(f"[{report.iterations} cases in {time.time() - start:.1f}s]")

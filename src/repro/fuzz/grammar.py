@@ -215,10 +215,21 @@ class CaseGenerator:
     The same ``(seed, i)`` always yields byte-identical cases, so a CI
     failure reported as ``seed=S iteration=I`` replays locally without
     the corpus file.
+
+    ``profile`` skews the statement mix: ``"default"`` is read-mostly
+    (~12% UPDATE), ``"write-heavy"`` makes every other statement an
+    UPDATE (~55%) so write-path changes — coalescing, read-around-write,
+    write-direction planning — are differentially exercised across the
+    oracle lattice.
     """
 
-    def __init__(self, seed):
+    PROFILES = ("default", "write-heavy")
+
+    def __init__(self, seed, profile="default"):
+        if profile not in self.PROFILES:
+            raise ValueError(f"unknown fuzz profile {profile!r}")
         self.seed = int(seed)
+        self.profile = profile
 
     def case(self, index):
         rng = random.Random((self.seed + 1) * 1_000_003 + index)
@@ -300,6 +311,21 @@ class CaseGenerator:
     # -- statements ------------------------------------------------------------
     def _statement(self, rng, tables):
         r = rng.random()
+        if self.profile == "write-heavy":
+            # UPDATE-skewed mix: ~55% updates, reads interleaved so
+            # read-around-write and coalescing both engage, and the same
+            # rng draw count per branch keeps cases seed-replayable.
+            if r < 0.55:
+                return self._update(rng, tables)
+            if r < 0.70:
+                return self._select(rng, tables)
+            if r < 0.80:
+                return self._aggregate(rng, tables)
+            if r < 0.88:
+                return self._ordered(rng, tables)
+            if r < 0.95:
+                return self._join(rng, tables)
+            return self._error_statement(rng, tables)
         if r < 0.30:
             return self._select(rng, tables)
         if r < 0.48:

@@ -59,15 +59,16 @@ def _resolve_configs(config_keys):
 
 
 def run_fuzz(seed=0, iterations=100, config_keys=None, save_dir=None,
-             shrink=True, max_failures=3, progress=None):
+             shrink=True, max_failures=3, progress=None, profile="default"):
     """Run the differential loop; returns a :class:`FuzzReport`.
 
     Failing cases are shrunk (when ``shrink``) and written as JSON repro
     files into ``save_dir``; the loop stops early after ``max_failures``
-    distinct failing iterations.
+    distinct failing iterations.  ``profile`` selects the statement mix
+    (see :class:`~repro.fuzz.grammar.CaseGenerator`).
     """
     configs = _resolve_configs(config_keys)
-    generator = CaseGenerator(seed)
+    generator = CaseGenerator(seed, profile=profile)
     report = FuzzReport(seed=seed)
     for iteration in range(iterations):
         case = generator.case(iteration)

@@ -173,6 +173,10 @@ def main(argv=None):
         from repro.harness.tiering import main as tier_main
 
         return tier_main(argv[1:])
+    if argv and argv[0] == "wear":
+        from repro.harness.wear import main as wear_main
+
+        return wear_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rcnvm-experiments",
         description="Regenerate the RC-NVM paper's tables and figures.",
@@ -226,6 +230,12 @@ def main(argv=None):
                        help="write-drain low watermark fraction (default 0.25)")
     sched.add_argument("--adaptive-threshold", type=int, default=None,
                        help="adaptive page policy conflict streak threshold (default 4)")
+    sched.add_argument("--write-coalescing", action="store_true", default=None,
+                       help="merge queued writes to the same row/col buffer "
+                            "entry before issue (default off)")
+    sched.add_argument("--read-around-write", action="store_true", default=None,
+                       help="let buffer-hitting reads preempt write drains, "
+                            "bounded by the starvation age cap (default off)")
     args = parser.parse_args(argv)
     args.sched_kwargs = {
         key: value
@@ -238,6 +248,8 @@ def main(argv=None):
             ("drain_high", args.drain_high),
             ("drain_low", args.drain_low),
             ("adaptive_threshold", args.adaptive_threshold),
+            ("write_coalescing", args.write_coalescing),
+            ("read_around_write", args.read_around_write),
         )
         if value is not None
     }

@@ -33,6 +33,12 @@ metrics — fairness (max/min tenant throughput) and the per-stream
 row-buffer hit-rate delta against a global-FIFO baseline — which the
 regression gate fences when the committed baseline records limits.
 
+A **write-path scenario** (``repro.harness.wear``) compares write
+coalescing + read-around-write against the knobs-off controller on the
+write-heavy mix, reporting the NVM write-pulse reduction and the read
+p99 ratio — both deterministic and fenced when the committed baseline
+records limits.
+
 Also reported: per-access memory of both trace representations (the
 ``__slots__``-objects list vs the NumPy columns) and the process's peak
 RSS.  Results are written as JSON (``BENCH_trace_pipeline.json``); see
@@ -278,6 +284,44 @@ def _tiering_scenario(scale, sched_kwargs=None):
     }
 
 
+def _write_path_scenario(scale, sched_kwargs=None):
+    """The write-asymmetry scenario (``repro.harness.wear``).
+
+    Two cells of the wear ablation — knobs off vs coalescing +
+    read-around-write — on the small write-heavy workload.  The fenced
+    metrics (write-pulse reduction, read p99 ratio) are simulated-cycle
+    quantities, fully deterministic.
+    """
+    from repro.harness.wear import run_wear_cell
+
+    start = time.perf_counter()
+    base = run_wear_cell(scale=min(scale, 0.05), rounds=5, small=True,
+                         sched_kwargs=sched_kwargs)
+    full = run_wear_cell(write_coalescing=True, read_around_write=True,
+                         scale=min(scale, 0.05), rounds=5, small=True,
+                         sched_kwargs=sched_kwargs)
+    elapsed = time.perf_counter() - start
+    base_p99 = base["read_p99"]
+    return {
+        "statements": base["statements"],
+        "baseline_write_pulses": base["totals"]["write_pulses"],
+        "write_pulses": full["totals"]["write_pulses"],
+        "write_pulse_reduction": (
+            base["totals"]["write_pulses"] - full["totals"]["write_pulses"]
+        ),
+        "writes_coalesced": full["totals"]["writes_coalesced"],
+        "read_around_writes": full["totals"]["read_around_writes"]
+        + base["totals"]["read_around_writes"],
+        "baseline_read_p99": base_p99,
+        "read_p99": full["read_p99"],
+        "read_p99_ratio": round(full["read_p99"] / base_p99, 4)
+        if base_p99 else None,
+        "max_wear": full["wear"]["max_wear"],
+        "baseline_max_wear": base["wear"]["max_wear"],
+        "wall_seconds": round(elapsed, 4),
+    }
+
+
 def run_perfbench(scale=0.1, systems=FIGURE_SYSTEMS, qids=SQL_BENCHMARK_IDS,
                   rounds=3, sched_kwargs=None, serving_rounds=3):
     """Run the full benchmark; returns the result dict (JSON-ready)."""
@@ -364,6 +408,7 @@ def run_perfbench(scale=0.1, systems=FIGURE_SYSTEMS, qids=SQL_BENCHMARK_IDS,
         "rebind_microbench": _rebind_microbench(scale, sched_kwargs=sched_kwargs),
         "serving": _multi_tenant_serving(scale, sched_kwargs=sched_kwargs),
         "tiering": _tiering_scenario(scale, sched_kwargs=sched_kwargs),
+        "write_path": _write_path_scenario(scale, sched_kwargs=sched_kwargs),
         "allocation": _measure_allocation(work),
         "peak_rss_kib": peak_rss_kib,
     }
@@ -487,6 +532,25 @@ def check_regression(report, baseline_path, max_regression=0.25):
                 "tiering engine inconsistent: "
                 + "; ".join(tiering["consistency_problems"])
             )
+    # Write-path gate: again only when the baseline records fences.
+    wp_fences = baseline.get("write_path")
+    write_path = report.get("write_path")
+    if wp_fences and write_path:
+        min_reduction = wp_fences.get("min_write_pulse_reduction")
+        if (min_reduction is not None
+                and write_path["write_pulse_reduction"] < min_reduction):
+            failures.append(
+                f"write coalescing regressed: only "
+                f"{write_path['write_pulse_reduction']} NVM write pulses "
+                f"saved vs knobs-off (floor {min_reduction})"
+            )
+        max_ratio = wp_fences.get("max_read_p99_ratio")
+        ratio = write_path["read_p99_ratio"]
+        if max_ratio is not None and ratio is not None and ratio > max_ratio:
+            failures.append(
+                f"write path hurt reads: p99 ratio {ratio} vs knobs-off "
+                f"exceeds ceiling {max_ratio}"
+            )
     return failures
 
 
@@ -556,6 +620,12 @@ def main(argv=None):
           f"untiered {tier['baseline_hit_rate']:.3f} "
           f"({tier['hit_rate_delta']:+.3f}), "
           f"{tier['promotions']} promoted")
+    wp = report["write_path"]
+    print(f"write path       : {wp['write_pulses']} pulses vs "
+          f"{wp['baseline_write_pulses']} knobs-off "
+          f"(saved {wp['write_pulse_reduction']}), "
+          f"{wp['writes_coalesced']} coalesced, "
+          f"read p99 ratio {wp['read_p99_ratio']}")
     print(f"written to       : {args.out}")
     if report["equivalence"]["mismatches"]:
         print("FAIL: batched replay diverged from the precise path", file=sys.stderr)

@@ -19,6 +19,8 @@ fetched once", no queueing): they are lower-bound-flavoured costs whose
 import dataclasses
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.geometry import WORDS_PER_LINE
 from repro.imdb.planner import (
     AggregatePlan,
@@ -29,6 +31,7 @@ from repro.imdb.planner import (
     ScanMethod,
     UpdatePlan,
     WideAggregatePlan,
+    _compare,
 )
 
 
@@ -40,11 +43,16 @@ class CostEstimate:
     lines: int  # 64-byte transfers
     activations: int  # buffer openings
     cycles: float  # estimated CPU cycles
+    #: Estimated NVM cell-array write pulses (dirtied buffer entries that
+    #: will flush).  Zero for read-only plans; the planner's write-
+    #: direction choice minimizes this times the per-tier flush cost.
+    write_pulses: int = 0
 
     def __str__(self):
+        suffix = f", {self.write_pulses:,} write pulses" if self.write_pulses else ""
         return (
             f"{self.plan}: ~{self.cycles:,.0f} cycles "
-            f"({self.lines:,} lines, {self.activations:,} activations)"
+            f"({self.lines:,} lines, {self.activations:,} activations{suffix})"
         )
 
 
@@ -72,20 +80,46 @@ class CostModel:
         else:
             self._channels = memory.geometry.channels
 
-    def dram_fraction(self, table):
-        """Fraction of a table's cells resident in the DRAM tier."""
+    def dram_fraction(self, table, chunks=None):
+        """Fraction of the given chunks' cells (default: the whole
+        table's) resident in the DRAM tier."""
         if not self._tiered:
             return 0.0
         g = self.database.memory.geometry
         per_channel = g.ranks * g.banks * g.subarrays
         nvm_channels = self.database.memory.nvm_channels
         total = dram = 0
-        for chunk in table.chunks:
+        for chunk in table.chunks if chunks is None else chunks:
             cells = chunk.width * chunk.height
             total += cells
             if chunk.placement.bin_index // per_channel >= nvm_channels:
                 dram += cells
         return dram / total if total else 0.0
+
+    def dirty_chunks(self, table, plan):
+        """Chunks holding at least one tuple the plan's predicates match.
+
+        A write plan only dirties the chunks its matches live in, so
+        per-tier write costs must be blended over *these* chunks — a
+        table that is mostly DRAM-resident can still have every matched
+        tuple sitting in NVM (and vice versa).  Falls back to the whole
+        table when there are no predicates or nothing matches."""
+        predicates = getattr(plan, "predicates", ())
+        if not predicates:
+            return table.chunks
+        mask = None
+        for predicate in predicates:
+            values = table.field_values(predicate.field)
+            part = _compare(values, predicate.op, predicate.value)
+            mask = part if mask is None else (mask & part)
+        if not len(mask) or not mask.any():
+            return table.chunks
+        dirty = []
+        for chunk in table.chunks:
+            first = chunk.first_tuple
+            if np.any(mask[first:first + chunk.n_tuples]):
+                dirty.append(chunk)
+        return dirty
 
     # -- public -----------------------------------------------------------------
     def estimate(self, plan) -> CostEstimate:
@@ -103,7 +137,8 @@ class CostModel:
             return self._update(plan)
         raise TypeError(f"cannot price {type(plan).__name__}")
 
-    def _finish(self, plan, lines, activations, extra_cycles=0.0, table=None):
+    def _finish(self, plan, lines, activations, extra_cycles=0.0, table=None,
+                write_pulses=0):
         hit, activation = self._hit_cost, self._activation_cost
         if self._tiered and table is not None:
             fraction = self.dram_fraction(table)
@@ -120,13 +155,17 @@ class CostModel:
             lines=int(lines),
             activations=int(activations),
             cycles=cycles,
+            write_pulses=int(write_pulses),
         )
 
-    def _blended_flush_cost(self, table):
-        """Per-match dirty-flush cost; DRAM-resident cells skip the NVM
-        write pulse."""
+    def _blended_flush_cost(self, table, chunks=None):
+        """Per-flush dirty-flush cost; DRAM-resident cells skip the NVM
+        write pulse.  ``chunks`` restricts the blend to the chunks a plan
+        actually dirties (see :meth:`dirty_chunks`) — blending by the
+        whole-table fraction charged DRAM prices to writes whose matches
+        are entirely NVM-resident."""
         if self._tiered:
-            fraction = self.dram_fraction(table)
+            fraction = self.dram_fraction(table, chunks)
             if fraction:
                 return (
                     fraction * self._dram_flush_cost
@@ -261,11 +300,35 @@ class CostModel:
                 lines += l
                 activations += a
         matches = self._matches(plan, table) or 1
-        lines += matches
-        activations += matches
-        flush_cycles = matches * self._blended_flush_cost(table)
+        words = sum(
+            table.schema.field(name).words for name, _value in plan.assignments
+        ) or 1
+        dirty = self.dirty_chunks(table, plan)
+        write_method = getattr(plan, "write_method", ScanMethod.ROW)
+        if write_method is ScanMethod.COLUMN:
+            # Column-direction write-back: every assigned field word is one
+            # physical column per dirtied chunk, shared by all matches in
+            # that chunk — so the dirtied-buffer count (and the write
+            # pulses paid on flush) scales with words x chunks, not with
+            # matches.  Line traffic is capped by the column lines that
+            # exist in those chunks.
+            n_chunks = max(1, len(dirty))
+            line_cap = sum(
+                -(-chunk.height // WORDS_PER_LINE) for chunk in dirty
+            ) or 1
+            lines += min(matches, line_cap) * words
+            activations += words * n_chunks
+            write_pulses = words * n_chunks
+        else:
+            # Scattered row writes: each match dirties its own row buffer
+            # entry and pays its own flush.
+            lines += matches * max(1, -(-words // WORDS_PER_LINE))
+            activations += matches
+            write_pulses = matches
+        flush_cycles = write_pulses * self._blended_flush_cost(table, dirty)
         return self._finish(
-            plan, lines, activations, extra_cycles=flush_cycles, table=table
+            plan, lines, activations, extra_cycles=flush_cycles, table=table,
+            write_pulses=write_pulses,
         )
 
 
@@ -285,4 +348,10 @@ def explain_costs(database, sql, params=None, **plan_kwargs):
                 continue
             alternative = dataclasses.replace(plan, fetch_method=method)
             out[f"fetch={method.value}"] = model.estimate(alternative)
+    elif isinstance(plan, UpdatePlan):
+        for method in (ScanMethod.ROW, ScanMethod.COLUMN):
+            if method is plan.write_method:
+                continue
+            alternative = dataclasses.replace(plan, write_method=method)
+            out[f"write={method.value}"] = model.estimate(alternative)
     return out

@@ -366,11 +366,17 @@ class Executor:
         self._emit_selective_column_fetch(trace, table, ids, fields)
         return self._rows_from_functional(table, mask, fields)
 
-    def _emit_selective_column_fetch(self, trace, table, ids, fields):
+    def _emit_selective_column_fetch(self, trace, table, ids, fields,
+                                     write=False):
         """Emit column accesses covering the given fields of the given
         tuples (only the 64-byte column lines that contain matches).
 
-        ``fields=None`` (SELECT *) covers every field."""
+        ``fields=None`` (SELECT *) covers every field.  With ``write``
+        the same lines are emitted as column writes — scattered matches
+        that share a physical column then dirty one column buffer entry
+        between them instead of one row buffer each, which is what makes
+        the column direction cheaper in write pulses for selective
+        UPDATEs (see ``UpdatePlan.write_method``)."""
         if fields is None:
             fields = table.schema.field_names()
         ids = np.asarray(ids, dtype=np.int64)
@@ -401,7 +407,7 @@ class Executor:
                         first_tuple=0,
                         tuple_stride=0,
                     )
-                    self.emit_run(trace, run, gap=1)
+                    self.emit_run(trace, run, write=write, gap=1)
 
     def _rows_from_functional(self, table, mask, fields):
         ids = np.nonzero(mask)[0]
@@ -585,8 +591,24 @@ class Executor:
         )
         ids = np.nonzero(mask)[0]
         fields = [name for name, _value in plan.assignments]
-        ranges = self._word_ranges(table, fields)
         durability = self.database.durability
+        write_method = getattr(plan, "write_method", ScanMethod.ROW)
+        if write_method is ScanMethod.COLUMN and len(ids):
+            # Write-direction choice (cost model's write-amplification
+            # term): emit the dirtied cells as column lines, so matches
+            # sharing a physical column dirty one column buffer between
+            # them instead of one scattered row buffer each.
+            self._emit_selective_column_fetch(trace, table, ids, fields,
+                                              write=True)
+            for tuple_id in ids:
+                for name, value in plan.assignments:
+                    if durability is not None:
+                        durability.log_tuple_write(
+                            trace, table.name, int(tuple_id), name, int(value)
+                        )
+                    table.write_field(int(tuple_id), name, value)
+            return QueryResult(kind="count", count=len(ids))
+        ranges = self._word_ranges(table, fields)
         for tuple_id in ids:
             chunk, local = table.chunk_of(int(tuple_id))
             for offset, count in ranges:

@@ -150,7 +150,15 @@ class JoinPlan:
 
 @dataclass(frozen=True)
 class UpdatePlan:
-    """Predicate scan plus per-match row writes (Q12, Q13)."""
+    """Predicate scan plus per-match writes (Q12, Q13).
+
+    ``write_method`` is the *direction* the dirtied cells are written
+    back in: ROW writes each matched tuple's assigned words as scattered
+    row accesses (one dirtied row buffer per match), COLUMN writes them
+    as column lines (matches sharing a physical column dirty one column
+    buffer between them).  The planner picks whichever the cost model's
+    write-amplification term prices cheaper; the functional result is
+    identical either way."""
 
     table: str
     predicates: Tuple[PlannedPredicate, ...]
@@ -158,6 +166,8 @@ class UpdatePlan:
     assignments: Tuple[Tuple[str, int], ...]
     use_index: bool = False
     use_ordered_index: bool = False
+    write_method: ScanMethod = ScanMethod.ROW
+    estimated_selectivity: float = 0.1
 
 
 class Planner:
@@ -531,7 +541,8 @@ class Planner:
             assignments.append(
                 (assignment.column, self._resolve_value(assignment.value, params))
             )
-        return UpdatePlan(
+        selectivity = self._selectivity(table_name, predicates, None)
+        plan = UpdatePlan(
             table=table_name,
             predicates=predicates,
             scan_method=(
@@ -543,11 +554,32 @@ class Planner:
             use_index=self._index_usable(table, predicates),
             use_ordered_index=(
                 not self._index_usable(table, predicates)
-                and self._ordered_index_usable(
-                    table, predicates, self._selectivity(table_name, predicates, None)
-                )
+                and self._ordered_index_usable(table, predicates, selectivity)
             ),
+            estimated_selectivity=selectivity,
         )
+        return self._write_tuned(plan)
+
+    def _write_tuned(self, plan):
+        """Pick the write-back direction minimizing estimated write cost.
+
+        NVM writes are asymmetric: every dirtied buffer entry pays a
+        write pulse when it flushes, so the direction that dirties fewer
+        buffer entries wins even when it moves the same number of lines
+        (Ma et al., PAPERS.md).  Only the write path changes — never the
+        functional result — so the choice is invisible to differential
+        oracles, exactly like `_tier_tuned`."""
+        if not self._supports_column or not plan.assignments:
+            return plan
+        from repro.imdb.cost import CostModel  # local import: cost imports us
+
+        model = CostModel(self.database)
+        best, best_cycles = plan, model.estimate(plan).cycles
+        candidate = dataclasses.replace(plan, write_method=ScanMethod.COLUMN)
+        cycles = model.estimate(candidate).cycles
+        if cycles < best_cycles:
+            best = candidate
+        return best
 
 
 def _schema_field(table, name):

@@ -130,6 +130,8 @@ class Bank:
                     # the crossbar array; DRAM restore is covered by tRAS.
                     prep += self._write_pulse_cpu
                     stats.dirty_flushes += 1
+                    if self._write_pulse_cpu:
+                        stats.write_pulses += 1
                     self._record_wear()
                 prep += self._rp_cpu
             prep += self._rcd_cpu
@@ -160,6 +162,8 @@ class Bank:
         if self.dirty:
             done += self._write_pulse_cpu
             stats.dirty_flushes += 1
+            if self._write_pulse_cpu:
+                stats.write_pulses += 1
             self._record_wear()
         done += self._rp_cpu
         self.open_kind = None

@@ -15,6 +15,21 @@ a configurable policy stack:
   watermark the controller drains writes until the low watermark, and
   otherwise serves them only when no reads are waiting.  This keeps
   NVM's slow writes off the read critical path (Yoon et al., ICCD 2012).
+* **Write coalescing** (``write_coalescing``, off by default) — a write
+  posted while an older write to the *same row/col buffer entry* (and
+  same stream) is still queued is absorbed into that entry instead of
+  occupying a queue slot: the merged writes dirty the buffer once and
+  pay one write pulse on flush instead of one each (Ma et al.'s
+  asymmetry argument: every absorbed NVM write is a cell-array write
+  avoided).  Absorbed writes still count as accesses/buffer hits so all
+  conservation laws hold; ``writes_coalesced`` counts the absorptions.
+* **Read-around-write** (``read_around_write``, off by default) — during
+  a drain episode, a queued read that hits a currently open buffer may
+  preempt the drain for one pick (``read_around_writes`` counts these).
+  At most ``age_cap`` bypasses are allowed per drain episode, so drains
+  still finish and the worst-case write queueing bound is unchanged;
+  the preempted pick goes through the normal FR-FCFS + fair-share path,
+  so per-stream accounting is preserved.
 * **Fair-share streams** — requests carry a tenant ``stream`` tag
   (:attr:`MemRequest.stream`; 0 means untagged).  While more than one
   stream is queued in a class, a deficit-round-robin arbiter picks which
@@ -53,16 +68,18 @@ from repro.memsim.stats import MemoryStats
 
 class _Queued:
     """One queue entry: the request, its submission order, its bank's
-    index (cached — the scheduler reads it on every pick), and how many
-    times the scheduler has picked a younger request over it."""
+    index (cached — the scheduler reads it on every pick), how many
+    times the scheduler has picked a younger request over it, and any
+    younger writes to the same buffer entry coalesced into it."""
 
-    __slots__ = ("seq", "req", "bank_index", "bypassed")
+    __slots__ = ("seq", "req", "bank_index", "bypassed", "coalesced")
 
     def __init__(self, seq, req, bank_index):
         self.seq = seq
         self.req = req
         self.bank_index = bank_index
         self.bypassed = 0
+        self.coalesced = None
 
 
 class ChannelController:
@@ -77,7 +94,8 @@ class ChannelController:
     def __init__(self, geometry, timing, supports_column, queue_depth=32,
                  policy="frfcfs", page_policy="open", write_queue_depth=None,
                  age_cap=16, drain_high=0.75, drain_low=0.25,
-                 adaptive_threshold=4, stream_quantum=4, track_streams=False):
+                 adaptive_threshold=4, stream_quantum=4, track_streams=False,
+                 write_coalescing=False, read_around_write=False):
         if policy not in self.POLICIES:
             raise ValueError(f"unknown scheduling policy {policy!r}")
         if page_policy not in self.PAGE_POLICIES:
@@ -105,9 +123,18 @@ class ChannelController:
         self.page_policy = page_policy
         self.age_cap = age_cap
         self.adaptive_threshold = adaptive_threshold
-        #: Write-drain watermarks, in queued writes.
+        self.write_coalescing = write_coalescing
+        self.read_around_write = read_around_write
+        #: Write-drain watermarks, in queued writes.  The low watermark is
+        #: clamped strictly below the high one: with a small
+        #: ``write_queue_depth`` the two integer counts can otherwise
+        #: collide (e.g. depth 4, drain_high=0.75, drain_low=0.75 -> both
+        #: 3), making every drain episode exit after a single write and
+        #: inflating ``write_drain_episodes``.
         self.drain_high_count = max(1, int(self.write_queue_depth * drain_high))
-        self.drain_low_count = int(self.write_queue_depth * drain_low)
+        self.drain_low_count = min(
+            int(self.write_queue_depth * drain_low), self.drain_high_count - 1
+        )
         n_banks = geometry.ranks * geometry.banks
         self.banks = [Bank(timing, supports_column) for _ in range(n_banks)]
         self.read_queues = [[] for _ in range(n_banks)]
@@ -115,6 +142,9 @@ class ChannelController:
         self.reads_pending = 0
         self.writes_pending = 0
         self.draining = False
+        #: Read-around-write bypasses spent in the current drain episode
+        #: (reset when a new episode starts; capped at ``age_cap``).
+        self._drain_bypasses = 0
         #: Adaptive page policy state, per bank.
         self._conflict_streak = [0] * n_banks
         self._last_closed = [None] * n_banks
@@ -162,6 +192,21 @@ class ChannelController:
         """Queue a request; may trigger scheduling if a queue fills up."""
         req.tier = self.tier
         bank_index = req.rank * self.geometry.banks + req.bank
+        if self.write_coalescing and req.is_write:
+            want = req.want
+            stream = req.stream
+            for queued in self.write_queues[bank_index]:
+                if queued.req.want == want and queued.req.stream == stream:
+                    # Merge into the older queued write: one buffer dirtying
+                    # (and one eventual write pulse) covers both.  The
+                    # absorbed request completes with the survivor and is
+                    # fully counted then; it never occupies a queue slot.
+                    if queued.coalesced is None:
+                        queued.coalesced = [req]
+                    else:
+                        queued.coalesced.append(req)
+                    self.stats.writes_coalesced += 1
+                    return
         entry = _Queued(next(self._seq), req, bank_index)
         queues = self.write_queues if req.is_write else self.read_queues
         bank_queue = queues[bank_index]
@@ -230,12 +275,39 @@ class ChannelController:
                 self.draining = False
         elif self.writes_pending >= self.drain_high_count:
             self.draining = True
+            self._drain_bypasses = 0
             self.stats.write_drain_episodes += 1
         if self.draining:
+            if (
+                self.read_around_write
+                and self.reads_pending
+                and self._drain_bypasses < self.age_cap
+                and self._read_hit_waiting()
+            ):
+                # A queued read hits a buffer that is open *right now*;
+                # service it before the next drained write closes that
+                # buffer.  Bounded per episode so drains still complete.
+                self._drain_bypasses += 1
+                self.stats.read_around_writes += 1
+                return self.read_queues
             return self.write_queues
         if self.reads_pending:
             return self.read_queues
         return self.write_queues  # opportunistic: bus is otherwise idle
+
+    def _read_hit_waiting(self):
+        """True when any queued read wants its bank's open buffer entry."""
+        banks = self.banks
+        for queue in self.read_queues:
+            if not queue:
+                continue
+            open_entry = banks[queue[0].bank_index].open_entry
+            if open_entry is None:
+                continue
+            for entry in queue:
+                if entry.req.want == open_entry:
+                    return True
+        return False
 
     def _pick_frfcfs(self, queues):
         """FR-FCFS pick over one class of per-bank FIFO queues.
@@ -483,6 +555,10 @@ class ChannelController:
         bucket = latency.bit_length()
         hist.buckets[bucket] = hist.buckets.get(bucket, 0) + 1
         hist.count += 1
+        if not req.is_write:
+            rhist = stats.read_latency_hist
+            rhist.buckets[bucket] = rhist.buckets.get(bucket, 0) + 1
+            rhist.count += 1
         if self.track_streams:
             tally = self.stream_stats.get(stream)
             if tally is None:
@@ -494,6 +570,42 @@ class ChannelController:
             if hit:
                 tally[2] += 1
             tally[3] += latency
+        if entry.coalesced is not None:
+            # Writes absorbed into this entry complete with it.  Each is a
+            # real access (the conservation laws partition accesses), and by
+            # construction each hits the buffer the survivor just opened —
+            # what coalescing saves is the bank/bus time and the extra
+            # dirty-buffer write pulses, not the bookkeeping.
+            for areq in entry.coalesced:
+                # An absorbed write can arrive after the survivor's service
+                # slot in simulated time; never complete before arrival.
+                areq.completion = completion = max(end, areq.arrival)
+                stats.writes += 1
+                if areq.orientation is Orientation.COLUMN:
+                    stats.col_oriented += 1
+                elif areq.orientation is Orientation.GATHER:
+                    stats.gathers += 1
+                else:
+                    stats.row_oriented += 1
+                stats.buffer_hits += 1
+                if self.tier:
+                    stats.tier_dram_accesses += 1
+                    stats.tier_dram_hits += 1
+                else:
+                    stats.tier_nvm_accesses += 1
+                    stats.tier_nvm_hits += 1
+                alat = completion - areq.arrival
+                stats.total_latency_cycles += alat
+                bucket = alat.bit_length()
+                hist.buckets[bucket] = hist.buckets.get(bucket, 0) + 1
+                hist.count += 1
+                if self.track_streams:
+                    tally = self.stream_stats.get(areq.stream)
+                    if tally is None:
+                        tally = self.stream_stats[areq.stream] = [0, 0, 0, 0]
+                    tally[1] += 1
+                    tally[2] += 1
+                    tally[3] += alat
         # -- page policy
         if self.page_policy == "closed":
             self._close(bank)
@@ -566,6 +678,7 @@ class ChannelController:
         self.reads_pending = 0
         self.writes_pending = 0
         self.draining = False
+        self._drain_bypasses = 0
         self._conflict_streak = [0] * len(self.banks)
         self._last_closed = [None] * len(self.banks)
         self._starved_reads = 0

@@ -100,6 +100,16 @@ class MemoryStats:
     orientation_switches: int = 0
     #: Dirty-buffer flushes that paid the NVM write pulse.
     dirty_flushes: int = 0
+    #: Dirty-buffer flushes whose device charged a *nonzero* write pulse —
+    #: the cell-array writes that age NVM.  Always ``<= dirty_flushes``;
+    #: zero on DRAM, whose restore is covered by tRAS.
+    write_pulses: int = 0
+    #: Writes absorbed into an older queued write to the same buffer entry
+    #: (controller ``write_coalescing``).  Subset of ``writes``.
+    writes_coalesced: int = 0
+    #: Drain-episode picks preempted by a buffer-hitting read
+    #: (controller ``read_around_write``).
+    read_around_writes: int = 0
     activations: int = 0
     #: Buffers closed by the page policy (closed/adaptive precharges).
     buffer_closes: int = 0
@@ -175,6 +185,10 @@ class MemoryStats:
     migration_cycles: int = 0
     #: End-to-end request latency distribution (completion - arrival).
     latency_hist: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: Read-only slice of ``latency_hist`` — the wear/latency ablation
+    #: gates on read p99 specifically, since write draining and coalescing
+    #: deliberately trade write latency for read latency.
+    read_latency_hist: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     #: Typed instrument declaration consumed by the metrics registry
     #: (:func:`repro.obs.metrics.bind_stats`): every dataclass field,
@@ -190,6 +204,9 @@ class MemoryStats:
         "buffer_conflicts": "counter",
         "orientation_switches": "counter",
         "dirty_flushes": "counter",
+        "write_pulses": "counter",
+        "writes_coalesced": "counter",
+        "read_around_writes": "counter",
         "activations": "counter",
         "buffer_closes": "counter",
         "bus_busy_cycles": "counter",
@@ -222,6 +239,7 @@ class MemoryStats:
         "migration_cells": "counter",
         "migration_cycles": "counter",
         "latency_hist": "histogram",
+        "read_latency_hist": "histogram",
     }
 
     @property
@@ -269,13 +287,21 @@ class MemoryStats:
     def latency_p99(self):
         return self.latency_hist.percentile(99)
 
+    @property
+    def read_latency_p50(self):
+        return self.read_latency_hist.percentile(50)
+
+    @property
+    def read_latency_p99(self):
+        return self.read_latency_hist.percentile(99)
+
     def merge(self, other: "MemoryStats") -> "MemoryStats":
         """Return the element-wise combination of two stat blocks."""
         merged = MemoryStats()
         for name in vars(self):
             mine, theirs = getattr(self, name), getattr(other, name)
-            if name == "latency_hist":
-                merged.latency_hist = mine.merged(theirs)
+            if isinstance(mine, LatencyHistogram):
+                setattr(merged, name, mine.merged(theirs))
             elif name in _MAX_FIELDS:
                 setattr(merged, name, max(mine, theirs))
             else:
@@ -317,6 +343,21 @@ class MemoryStats:
                 f"orientation switches {self.orientation_switches} exceed "
                 f"buffer conflicts {self.buffer_conflicts}"
             )
+        if self.write_pulses > self.dirty_flushes:
+            problems.append(
+                f"write pulses {self.write_pulses} exceed "
+                f"dirty flushes {self.dirty_flushes}"
+            )
+        if self.writes_coalesced > self.writes:
+            problems.append(
+                f"coalesced writes {self.writes_coalesced} exceed "
+                f"writes {self.writes}"
+            )
+        if self.read_latency_hist.count > self.latency_hist.count:
+            problems.append(
+                f"read latency samples {self.read_latency_hist.count} exceed "
+                f"total latency samples {self.latency_hist.count}"
+            )
         tiered = self.tier_dram_accesses + self.tier_nvm_accesses
         if tiered != self.accesses:
             problems.append(
@@ -344,6 +385,7 @@ class MemoryStats:
     def snapshot(self) -> dict:
         data = dict(vars(self))
         data["latency_hist"] = self.latency_hist.to_dict()
+        data["read_latency_hist"] = self.read_latency_hist.to_dict()
         data["accesses"] = self.accesses
         data["buffer_miss_rate"] = self.buffer_miss_rate
         data["average_latency"] = self.average_latency
@@ -351,6 +393,8 @@ class MemoryStats:
         data["latency_p50"] = self.latency_p50
         data["latency_p95"] = self.latency_p95
         data["latency_p99"] = self.latency_p99
+        data["read_latency_p50"] = self.read_latency_p50
+        data["read_latency_p99"] = self.read_latency_p99
         return data
 
 

@@ -53,7 +53,7 @@ class MemorySystem:
         """``sched_kwargs`` are forwarded to every channel's
         :class:`~repro.memsim.controller.ChannelController`: ``page_policy``,
         ``write_queue_depth``, ``age_cap``, ``drain_high``, ``drain_low``,
-        ``adaptive_threshold``."""
+        ``adaptive_threshold``, ``write_coalescing``, ``read_around_write``."""
         self.name = name
         self.geometry = geometry
         self.timing = timing

@@ -326,3 +326,180 @@ class TestPagePolicies:
             controller.completion_of(req)
         # One switch conflict (weight 2) already reaches the threshold.
         assert controller.stats.buffer_closes == 1
+
+
+class TestDrainWatermarkClamp:
+    def test_low_watermark_clamped_below_high(self):
+        # Regression: depth 4 with drain_high = drain_low = 0.75 used to
+        # give both watermarks count 3, so every drain episode exited
+        # after a single write and write_drain_episodes inflated.
+        controller = make_controller(write_queue_depth=4, drain_high=0.75,
+                                     drain_low=0.75)
+        assert controller.drain_high_count == 3
+        assert controller.drain_low_count == 2
+
+    def test_degenerate_depth_one_drains_to_empty(self):
+        controller = make_controller(write_queue_depth=1, drain_high=1.0,
+                                     drain_low=1.0)
+        assert controller.drain_high_count == 1
+        assert controller.drain_low_count == 0
+
+    def test_colliding_watermarks_drain_in_one_episode(self):
+        controller = make_controller(write_queue_depth=4, drain_high=0.25,
+                                     drain_low=0.25)
+        write = request(row=1, is_write=True, arrival=0)
+        read = request(row=2, arrival=0)
+        controller.submit(write)
+        controller.submit(read)
+        controller.completion_of(read)
+        # One episode drains past the (clamped-to-zero) low watermark and
+        # serves the write before the read; the old degenerate exit left
+        # the write posted while re-counting an episode per pick.
+        assert controller.stats.write_drain_episodes == 1
+        assert write.completion is not None
+        assert write.completion < read.completion
+
+
+class TestWriteCoalescing:
+    def test_same_entry_writes_merge(self):
+        controller = make_controller(write_coalescing=True)
+        first = request(row=1, col=0, is_write=True, arrival=0)
+        second = request(row=1, col=1, is_write=True, arrival=1)
+        controller.submit(first)
+        controller.submit(second)
+        assert controller.writes_pending == 1  # absorbed, no queue slot
+        controller.drain()
+        stats = controller.stats
+        assert stats.writes == 2  # both still count as accesses
+        assert stats.writes_coalesced == 1
+        assert stats.buffer_hits == 1  # the absorbed write rides the buffer
+        assert second.completion is not None
+        assert stats.check_conservation() == []
+
+    def test_different_rows_never_merge(self):
+        controller = make_controller(write_coalescing=True)
+        controller.submit(request(row=1, is_write=True))
+        controller.submit(request(row=2, is_write=True))
+        assert controller.writes_pending == 2
+        controller.drain()
+        assert controller.stats.writes_coalesced == 0
+
+    def test_different_streams_never_merge(self):
+        controller = make_controller(write_coalescing=True)
+        first = request(row=1, col=0, is_write=True)
+        second = request(row=1, col=1, is_write=True)
+        second.stream = 7
+        controller.submit(first)
+        controller.submit(second)
+        assert controller.writes_pending == 2
+        controller.drain()
+        assert controller.stats.writes_coalesced == 0
+
+    def test_disabled_by_default(self):
+        controller = make_controller()
+        controller.submit(request(row=1, col=0, is_write=True))
+        controller.submit(request(row=1, col=1, is_write=True))
+        assert controller.writes_pending == 2
+        controller.drain()
+        assert controller.stats.writes_coalesced == 0
+
+    def test_absorbed_write_never_completes_before_arrival(self):
+        controller = make_controller(write_coalescing=True)
+        survivor = request(row=1, col=0, is_write=True, arrival=0)
+        late = request(row=1, col=1, is_write=True, arrival=10**9)
+        controller.submit(survivor)
+        controller.submit(late)
+        controller.drain()
+        assert late.completion >= late.arrival
+        assert controller.stats.check_conservation() == []
+
+    def test_coalescing_saves_write_pulses(self):
+        # The end-to-end wear claim at controller scale: duplicate writes
+        # held in a shallow queue force an extra drain episode without
+        # coalescing, and the episode's dirty buffer is closed (one write
+        # pulse) by the interleaved read before the duplicate re-dirties
+        # the row (a second pulse on the final flush).  Coalescing merges
+        # the duplicates up front: one dirty episode, one pulse.
+        def run(coalescing):
+            controller = make_controller(write_queue_depth=4, drain_high=0.5,
+                                         drain_low=0.25,
+                                         write_coalescing=coalescing)
+            controller.submit(request(row=1, col=0, is_write=True, arrival=0))
+            controller.submit(request(row=1, col=1, is_write=True, arrival=0))
+            first_read = request(row=2, arrival=0)
+            controller.submit(first_read)
+            controller.completion_of(first_read)
+            second_read = request(row=3, arrival=0)
+            controller.submit(second_read)
+            controller.completion_of(second_read)
+            controller.drain()
+            controller.flush_all()
+            assert controller.stats.check_conservation() == []
+            return controller.stats
+
+        base = run(False)
+        merged = run(True)
+        assert base.write_pulses == 2
+        assert merged.write_pulses == 1
+        assert merged.writes_coalesced == 1
+        assert base.writes == merged.writes
+
+
+class TestReadAroundWrite:
+    def _draining_controller(self, **kwargs):
+        """A controller mid-drain with row 1 open and dirty-prone writes
+        queued behind it, plus a read hitting the open row."""
+        controller = make_controller(write_queue_depth=4, drain_high=0.5,
+                                     drain_low=0.25, **kwargs)
+        opener = request(row=1, col=0)
+        controller.submit(opener)
+        controller.completion_of(opener)  # row 1 now open
+        for i in range(2, 6):  # crosses the high watermark (2 = 4 * 0.5)
+            controller.submit(request(row=i, is_write=True, arrival=0))
+        hit = request(row=1, col=1, arrival=0)
+        controller.submit(hit)
+        return controller, hit
+
+    def test_buffer_hit_read_preempts_drain(self):
+        controller, hit = self._draining_controller(read_around_write=True)
+        controller.completion_of(hit)
+        stats = controller.stats
+        assert stats.read_around_writes >= 1
+        # The read was served as a buffer hit: the drain had not yet
+        # closed row 1 when it issued.
+        assert stats.buffer_hits >= 1
+        drained_before_hit = sum(
+            1 for req in controller.pending if req.is_write
+        )
+        assert drained_before_hit > 0  # drain still has work left
+        controller.drain()
+        assert stats.check_conservation() == []
+
+    def test_disabled_by_default_drain_closes_the_row(self):
+        controller, hit = self._draining_controller()
+        controller.completion_of(hit)
+        stats = controller.stats
+        assert stats.read_around_writes == 0
+        # The drain ran first and a write conflicted row 1 away, so the
+        # read came back a conflict, not a hit.
+        assert stats.buffer_hits == 0
+        controller.drain()
+        assert stats.check_conservation() == []
+
+    def test_bypasses_bounded_by_age_cap(self):
+        cap = 2
+        controller = make_controller(write_queue_depth=4, drain_high=0.5,
+                                     drain_low=0.25, age_cap=cap,
+                                     read_around_write=True)
+        opener = request(row=1, col=0)
+        controller.submit(opener)
+        controller.completion_of(opener)
+        for i in range(2, 8):
+            controller.submit(request(row=i, is_write=True, arrival=0))
+        hits = [request(row=1, col=c, arrival=0) for c in range(1, 7)]
+        for req in hits:
+            controller.submit(req)
+        controller.drain()
+        # One drain episode ran; at most age_cap picks went to reads.
+        assert controller.stats.read_around_writes <= cap
+        assert controller.stats.check_conservation() == []

@@ -6,7 +6,7 @@ import pytest
 
 from conftest import make_database, simple_rows
 from repro.imdb.cost import CostModel, explain_costs
-from repro.imdb.planner import FetchMethod
+from repro.imdb.planner import FetchMethod, ScanMethod
 
 
 def loaded_db(system="RC-NVM", n=2000, fields=8):
@@ -120,3 +120,136 @@ class TestExplainCosts:
         db = loaded_db()
         out = explain_costs(db, "SELECT SUM(f2) FROM t WHERE f1 > 500")
         assert "cycles" in str(out["chosen"])
+
+
+def two_chunk_db(system="RC-NVM"):
+    """A two-chunk table with chunk-aligned id ranges (insert_many always
+    appends whole new chunks): ids [0, 200) in chunk 0, [200, 400) in
+    chunk 1."""
+    if system == "TIERED":
+        from repro.harness.systems import SMALL_CACHE_CONFIG, build_system
+        from repro.imdb.database import Database
+
+        db = Database(build_system("TIERED", small=True),
+                      cache_config=SMALL_CACHE_CONFIG, verify=False)
+    else:
+        db = make_database(system, verify=False)
+    db.create_table("t", [("id", 8), ("v", 8)], layout="column")
+    db.insert_many("t", [(i, i * 3) for i in range(200)])
+    db.insert_many("t", [(i, i * 3) for i in range(200, 400)])
+    assert len(db.tables["t"].chunks) == 2
+    return db
+
+
+class TestDirtyChunkBlending:
+    def test_dirty_chunks_localize_the_predicate(self):
+        db = two_chunk_db()
+        table = db.tables["t"]
+        model = CostModel(db)
+        low = db.plan("UPDATE t SET v = 0 WHERE id < 50")
+        assert model.dirty_chunks(table, low) == [table.chunks[0]]
+        high = db.plan("UPDATE t SET v = 0 WHERE id >= 350")
+        assert model.dirty_chunks(table, high) == [table.chunks[1]]
+
+    def test_no_predicates_or_no_matches_fall_back_to_all_chunks(self):
+        db = two_chunk_db()
+        table = db.tables["t"]
+        model = CostModel(db)
+        everything = db.plan("UPDATE t SET v = 0")
+        assert model.dirty_chunks(table, everything) == table.chunks
+        nothing = db.plan("UPDATE t SET v = 0 WHERE id > 1000000")
+        assert model.dirty_chunks(table, nothing) == table.chunks
+
+    def test_flush_blend_follows_the_dirty_chunks_not_the_table(self):
+        # Regression: the flush cost used to blend by the whole-table
+        # DRAM fraction, so an UPDATE whose matches all live in NVM was
+        # charged partly DRAM (free) flush prices once any chunk of the
+        # table had been promoted.
+        db = two_chunk_db("TIERED")
+        table = db.tables["t"]
+        engine = db.tiering
+        chunk = table.chunks[0]
+        engine.tracker.heat[engine.chunk_key(table, chunk)] = 1e6
+        engine.capacity_cells = 10**9
+        assert engine.rebalance() == 1
+        model = CostModel(db)
+        assert 0.0 < model.dram_fraction(table) < 1.0
+        nvm_plan = db.plan("UPDATE t SET v = 0 WHERE id >= 350")
+        nvm_chunks = model.dirty_chunks(table, nvm_plan)
+        assert nvm_chunks == [table.chunks[1]]
+        # NVM-resident matches pay the full NVM write pulse ...
+        assert model._blended_flush_cost(table, nvm_chunks) == model._flush_cost
+        # ... DRAM-resident matches pay the DRAM (zero-pulse) price ...
+        dram_plan = db.plan("UPDATE t SET v = 0 WHERE id < 50")
+        dram_chunks = model.dirty_chunks(table, dram_plan)
+        assert dram_chunks == [table.chunks[0]]
+        assert (model._blended_flush_cost(table, dram_chunks)
+                == model._dram_flush_cost)
+        # ... and the whole-table blend sits strictly between the two.
+        blended = model._blended_flush_cost(table)
+        assert model._dram_flush_cost < blended < model._flush_cost
+
+
+class TestWriteDirection:
+    def _update_db(self, n=2000):
+        db = make_database("RC-NVM", verify=False)
+        db.create_table("t", [(f"f{i}", 8) for i in range(1, 5)],
+                        layout="column")
+        db.insert_many("t", [(i, i, i, i) for i in range(n)])
+        return db
+
+    def test_column_writes_price_fewer_pulses_for_scattered_updates(self):
+        db = self._update_db()
+        plan = db.plan("UPDATE t SET f3 = 1, f4 = 2 WHERE f1 > 400")
+        model = CostModel(db)
+        row = model.estimate(
+            dataclasses.replace(plan, write_method=ScanMethod.ROW)
+        )
+        column = model.estimate(
+            dataclasses.replace(plan, write_method=ScanMethod.COLUMN)
+        )
+        assert column.write_pulses < row.write_pulses
+        assert column.cycles < row.cycles
+
+    def test_planner_picks_column_write_direction(self):
+        db = self._update_db()
+        plan = db.plan("UPDATE t SET f3 = 1, f4 = 2 WHERE f1 > 400")
+        assert plan.write_method is ScanMethod.COLUMN
+
+    def test_read_only_plans_price_zero_write_pulses(self):
+        db = self._update_db()
+        estimate = CostModel(db).estimate(
+            db.plan("SELECT f2 FROM t WHERE f1 > 400")
+        )
+        assert estimate.write_pulses == 0
+
+    def test_write_direction_ranking_matches_simulation(self):
+        db = self._update_db()
+        plan = db.plan("UPDATE t SET f3 = 1, f4 = 2 WHERE f1 > 400")
+        row_plan = dataclasses.replace(plan, write_method=ScanMethod.ROW)
+        column_plan = dataclasses.replace(plan, write_method=ScanMethod.COLUMN)
+        model = CostModel(db)
+        assert (model.estimate(column_plan).cycles
+                < model.estimate(row_plan).cycles)
+        row_measured = measure(db, row_plan)
+        column_measured = measure(db, column_plan)
+        assert column_measured < row_measured
+        # The measured pulse counts must rank the same way the estimator
+        # prices them: scattered row write-backs dirty one buffer entry
+        # per match, the column direction one per field word per chunk.
+        db.reset_timing()
+        _result, trace = db.executor.execute(row_plan)
+        row_pulses = db.machine.run(trace).memory["write_pulses"]
+        db.reset_timing()
+        _result, trace = db.executor.execute(column_plan)
+        column_pulses = db.machine.run(trace).memory["write_pulses"]
+        assert column_pulses < row_pulses
+
+    def test_explain_costs_prices_the_write_alternative(self):
+        db = self._update_db()
+        out = explain_costs(db, "UPDATE t SET f3 = 1, f4 = 2 WHERE f1 > 400")
+        assert "chosen" in out
+        alternatives = [k for k in out if k.startswith("write=")]
+        assert alternatives  # the unchosen direction is priced
+        for key in alternatives:
+            assert out[key].cycles >= out["chosen"].cycles

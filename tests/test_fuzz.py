@@ -69,6 +69,34 @@ class TestGenerator:
         assert kinds == {"select", "join", "update", "raw"}
         assert aggs > 5 and ordered > 5
 
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            CaseGenerator(seed=0, profile="read-mostly")
+
+    def test_write_heavy_profile_skews_toward_updates(self):
+        """The --write-heavy mix must actually be UPDATE-dominated (it
+        exists to exercise coalescing, read-around-write, and the
+        write-direction planner differentially), while still emitting
+        every statement kind and staying deterministic per seed."""
+        counts = {}
+        total = 0
+        generator = CaseGenerator(seed=0, profile="write-heavy")
+        for index in range(40):
+            for stmt in generator.case(index).statements:
+                counts[stmt["kind"]] = counts.get(stmt["kind"], 0) + 1
+                total += 1
+        assert set(counts) == {"select", "join", "update", "raw"}
+        assert counts["update"] / total > 0.4  # ~55% by construction
+        default_updates = sum(
+            1
+            for index in range(40)
+            for stmt in CaseGenerator(seed=0).case(index).statements
+            if stmt["kind"] == "update"
+        )
+        assert counts["update"] > 2 * default_updates
+        again = CaseGenerator(seed=0, profile="write-heavy")
+        assert again.case(7).to_dict() == generator.case(7).to_dict()
+
 
 class TestConfigs:
     def test_lattice_sanity(self):

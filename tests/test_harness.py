@@ -340,3 +340,120 @@ class TestCli:
         assert "Fault injection" in out and "RC-NVM" in out
         assert seen["seed"] == 11 and seen["mode"] == "hotline"
         assert seen["fault_rate"] == 0.01
+
+
+class TestWritePathFences:
+    @staticmethod
+    def _report(**write_path):
+        return {
+            "equivalence": {"mismatches": 0, "mismatched": []},
+            "replay_after_batched": {"accesses_per_sec": 1000},
+            "write_path": write_path,
+        }
+
+    @staticmethod
+    def _baseline(tmp_path, fences):
+        import json
+
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({
+            "replay_after_batched": {"accesses_per_sec": 1000},
+            "write_path": fences,
+        }))
+        return path
+
+    def test_write_path_fences_gate_both_directions(self, tmp_path):
+        from repro.harness.perfbench import check_regression
+
+        path = self._baseline(tmp_path, {
+            "min_write_pulse_reduction": 1, "max_read_p99_ratio": 1.05,
+        })
+        good = self._report(write_pulse_reduction=15, read_p99_ratio=1.0)
+        assert check_regression(good, path) == []
+        bad = self._report(write_pulse_reduction=0, read_p99_ratio=1.4)
+        failures = check_regression(bad, path)
+        assert len(failures) == 2
+        assert any("write coalescing regressed" in f for f in failures)
+        assert any("hurt reads" in f for f in failures)
+
+    def test_unmeasurable_p99_ratio_is_not_gated(self, tmp_path):
+        # A workload with no reads reports ratio None; that is a workload
+        # problem, not a latency regression.
+        from repro.harness.perfbench import check_regression
+
+        path = self._baseline(tmp_path, {"max_read_p99_ratio": 1.05})
+        report = self._report(write_pulse_reduction=3, read_p99_ratio=None)
+        assert check_regression(report, path) == []
+
+    def test_baseline_without_write_path_fences_skips_the_gate(self, tmp_path):
+        import json
+
+        from repro.harness.perfbench import check_regression
+
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps({"replay_after_batched": {"accesses_per_sec": 1000}})
+        )
+        report = self._report(write_pulse_reduction=-5, read_p99_ratio=9.0)
+        assert check_regression(report, path) == []
+
+
+class TestWearHarness:
+    def test_workload_is_update_skewed_and_deterministic(self):
+        from repro.harness.wear import build_workload
+
+        statements = build_workload(rounds=4)
+        updates = [s for s in statements if s[0].startswith("UPDATE")]
+        assert len(updates) == len(statements) / 2  # one read per update
+        assert statements == build_workload(rounds=4)
+        # The sliding windows overlap round to round (coalescing needs
+        # re-dirtied rows, not disjoint ranges).
+        lows = sorted(params["z"] for sql, params, _hint in updates)
+        assert any(b - a < 120 for a, b in zip(lows, lows[1:]))
+
+    def test_hist_percentile_first_crossing(self):
+        from repro.harness.wear import _hist_percentile
+
+        hist = {7: 50, 63: 49, 1023: 1}
+        assert _hist_percentile(hist, 50) == 7
+        assert _hist_percentile(hist, 99) == 63
+        assert _hist_percentile(hist, 100) == 1023
+        assert _hist_percentile({}, 99) == 0
+
+    def test_cli_dispatches_wear(self, monkeypatch):
+        from repro.harness import cli, wear
+
+        seen = {}
+
+        def fake_main(argv):
+            seen["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(wear, "main", fake_main)
+        assert cli.main(["wear", "--smoke"]) == 0
+        assert seen["argv"] == ["--smoke"]
+
+    def test_sched_flags_reach_sched_kwargs(self, monkeypatch):
+        from repro.harness import cli
+
+        seen = {}
+
+        class FakeResult:
+            def render(self):
+                return "fake"
+
+        def fake_fig22(**kwargs):
+            seen.update(kwargs)
+            return FakeResult()
+
+        monkeypatch.setattr(cli.figures, "figure22", fake_fig22)
+        argv = ["fig22", "--write-coalescing", "--read-around-write"]
+        assert cli.main(argv) == 0
+        assert seen["sched_kwargs"] == {
+            "write_coalescing": True, "read_around_write": True,
+        }
+        seen.clear()
+        # Without the flags the kwargs stay absent (not False), so the
+        # controller defaults are untouched.
+        assert cli.main(["fig22"]) == 0
+        assert seen["sched_kwargs"] == {}

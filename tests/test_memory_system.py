@@ -125,6 +125,9 @@ SNAPSHOT_GOLDEN_KEYS = frozenset({
     "buffer_conflicts", "orientation_switches", "dirty_flushes",
     "activations", "buffer_closes", "bus_busy_cycles",
     "total_latency_cycles", "row_oriented", "col_oriented", "gathers",
+    # write-asymmetry accounting (coalescing + read-around-write)
+    "write_pulses", "writes_coalesced", "read_around_writes",
+    "read_latency_hist",
     # scheduler telemetry
     "write_drain_episodes", "starvation_cap_hits", "max_bypass",
     "queue_occupancy_sum", "queue_occupancy_samples",
@@ -143,6 +146,7 @@ SNAPSHOT_GOLDEN_KEYS = frozenset({
     # derived
     "accesses", "buffer_miss_rate", "average_latency",
     "avg_queue_occupancy", "latency_p50", "latency_p95", "latency_p99",
+    "read_latency_p50", "read_latency_p99",
 })
 
 

@@ -9,7 +9,7 @@ decisions, and the end-state reconstruction on a small system.
 import pytest
 
 from repro.cpu.machine import REPLAY_MODES, Machine
-from repro.cpu.replaykernel import kernel_eligible
+from repro.cpu.replaykernel import has_write_after_read, kernel_eligible
 from repro.cpu.trace import Op
 from repro.cpu.tracebuffer import TraceBuffer
 from repro.errors import ConfigurationError
@@ -182,3 +182,70 @@ class TestEndState:
                 for bank in ctrl.banks
             )
         return state
+
+
+class TestWriteAfterReadHazard:
+    """The stale-flat-state hazard gate (``has_write_after_read``).
+
+    The kernel replays reads against a flat snapshot of line state; a
+    write to a line the trace already read would leave later flat reads
+    seeing pre-write state.  Today the pure-read shape check already
+    rejects every write, but the hazard gate is what keeps a future
+    write-trace widening from silently replaying read-write-read lines
+    wrong — so its semantics are pinned here.
+    """
+
+    def test_read_then_write_same_line_is_flagged(self):
+        buffer = TraceBuffer()
+        buffer.emit(int(Op.READ), 0x0, 64, 1)
+        buffer.emit(int(Op.WRITE), 0x0, 64, 1)
+        assert has_write_after_read(buffer.finalize())
+
+    def test_write_then_read_same_line_is_not_flagged(self):
+        buffer = TraceBuffer()
+        buffer.emit(int(Op.WRITE), 0x0, 64, 1)
+        buffer.emit(int(Op.READ), 0x0, 64, 1)
+        assert not has_write_after_read(buffer.finalize())
+
+    def test_disjoint_lines_are_not_flagged(self):
+        buffer = TraceBuffer()
+        buffer.emit(int(Op.READ), 0x0, 64, 1)
+        buffer.emit(int(Op.WRITE), 0x40, 64, 1)
+        assert not has_write_after_read(buffer.finalize())
+
+    def test_pure_traces_are_not_flagged(self):
+        reads = TraceBuffer()
+        reads.emit(int(Op.READ), 0x0, 64, 1)
+        reads.emit(int(Op.READ), 0x40, 64, 1)
+        assert not has_write_after_read(reads.finalize())
+        writes = TraceBuffer()
+        writes.emit(int(Op.WRITE), 0x0, 64, 1)
+        writes.emit(int(Op.WRITE), 0x0, 64, 1)
+        assert not has_write_after_read(writes.finalize())
+
+    def test_verdict_is_memoized_per_finalized_trace(self):
+        buffer = TraceBuffer()
+        buffer.emit(int(Op.READ), 0x0, 64, 1)
+        buffer.emit(int(Op.WRITE), 0x0, 64, 1)
+        fin = buffer.finalize()
+        assert has_write_after_read(fin)
+        assert fin._kernel_cache["write_after_read"] is True
+
+    def test_mixed_trace_rejected_and_fallback_matches_batched(self):
+        # The full seam: a write-after-same-line-read trace must be
+        # rejected by the eligibility gate, and the kernel-mode machine
+        # must fall back to a replay identical to the batched path.
+        db = _small_db()
+        buffer = TraceBuffer()
+        buffer.emit(int(Op.READ), 0x0, 64, 1)
+        buffer.emit(int(Op.WRITE), 0x0, 64, 1)
+        buffer.emit(int(Op.READ), 0x40, 64, 1)
+        fin = buffer.finalize()
+        assert has_write_after_read(fin)
+        db.reset_timing()
+        assert not kernel_eligible(db.machine, fin)
+        db.machine.replay_mode = "batched"
+        batched = db.machine.run(buffer)
+        db.reset_timing()
+        db.machine.replay_mode = "kernel"
+        assert db.machine.run(buffer) == batched
